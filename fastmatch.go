@@ -1,0 +1,145 @@
+// Package fastmatch is an end-to-end system for interactively retrieving
+// the top-k histogram visualizations most similar to a target, from a
+// large collection of candidate histograms, with probabilistic separation
+// and reconstruction guarantees.
+//
+// It reproduces "Adaptive Sampling for Rapidly Matching Histograms"
+// (Macke, Zhang, Huang, Parameswaran; VLDB 2018): the HistSim algorithm
+// (three-stage adaptive sampling with Holm–Bonferroni rarity pruning and
+// union-intersection termination testing) running inside the FastMatch
+// architecture (block-granular I/O over a shuffled column store, bitmap
+// indexes, AnyActive block selection, and asynchronous lookahead marking).
+//
+// # Quick start
+//
+//	tbl := ...                    // build a *fastmatch.Table (see Builder)
+//	eng := fastmatch.NewEngine(tbl)
+//	res, err := eng.Run(
+//	    fastmatch.Query{Z: "country", X: []string{"income_bracket"}},
+//	    fastmatch.Target{Candidate: "Greece"},
+//	    fastmatch.DefaultOptions(tbl.NumRows()),
+//	)
+//
+// The result's TopK lists the k closest candidates with reconstructed
+// histograms satisfying, with probability > 1−δ: every returned histogram
+// is within ε (normalized L1) of its true histogram, and no omitted
+// candidate with selectivity ≥ σ is more than ε closer to the target than
+// the furthest returned one.
+package fastmatch
+
+import (
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/core"
+	"fastmatch/internal/engine"
+	"fastmatch/internal/histogram"
+)
+
+// Re-exported storage types: build tables with Builder, group continuous
+// attributes with Binner.
+type (
+	// Table is an immutable block-structured column store relation.
+	Table = colstore.Table
+	// Builder accumulates rows into a Table; call Shuffle before Build so
+	// sequential scans are uniform samples.
+	Builder = colstore.Builder
+	// Column is a dictionary-encoded categorical column.
+	Column = colstore.Column
+	// Binner maps continuous values to histogram bins.
+	Binner = colstore.Binner
+)
+
+// Re-exported query/engine types.
+type (
+	// Engine answers matching queries over one Table.
+	Engine = engine.Engine
+	// Query is a histogram-generating query template: candidate attribute
+	// Z, grouping attribute(s) X, plus optional extensions.
+	Query = engine.Query
+	// Target specifies the visual target (explicit counts, a candidate's
+	// own histogram, or uniform).
+	Target = engine.Target
+	// Options bundles HistSim parameters with the executor choice.
+	Options = engine.Options
+	// Result is a complete query answer.
+	Result = engine.Result
+	// Match is one returned candidate.
+	Match = engine.Match
+	// Executor selects the execution strategy.
+	Executor = engine.Executor
+	// Params are the HistSim knobs (k, ε, δ, σ, m, metric).
+	Params = core.Params
+	// Histogram is a vector of per-group counts.
+	Histogram = histogram.Histogram
+	// Metric is the distance function over normalized histograms.
+	Metric = histogram.Metric
+)
+
+// Executor variants, in increasing sophistication (§5.2 of the paper).
+const (
+	// Scan is the exact full-pass baseline.
+	Scan = engine.Scan
+	// ScanMatch samples sequentially without block skipping.
+	ScanMatch = engine.ScanMatch
+	// SyncMatch adds per-block AnyActive selection, synchronously.
+	SyncMatch = engine.SyncMatch
+	// FastMatch adds asynchronous lookahead marking — the full system.
+	FastMatch = engine.FastMatch
+)
+
+// Distance metrics.
+const (
+	// MetricL1 is normalized L1 distance, the paper's default.
+	MetricL1 = histogram.MetricL1
+	// MetricL2 is normalized L2 distance (Appendix A.2.2).
+	MetricL2 = histogram.MetricL2
+)
+
+// NewEngine creates an engine over a table.
+func NewEngine(tbl *Table) *Engine { return engine.New(tbl) }
+
+// NewBuilder creates a table builder with the given tuples-per-block
+// granularity (≤ 0 selects the default of 256).
+func NewBuilder(blockSize int) *Builder { return colstore.NewBuilder(blockSize) }
+
+// NewUniformBinner builds n equal-width bins over [lo, hi] for grouping a
+// continuous attribute.
+func NewUniformBinner(lo, hi float64, n int) (*Binner, error) {
+	return colstore.NewUniformBinner(lo, hi, n)
+}
+
+// NewHistogram builds a histogram from explicit counts (e.g. a
+// user-sketched target).
+func NewHistogram(counts []float64) *Histogram { return histogram.FromCounts(counts) }
+
+// MeasureBiasedView materializes the derived table that turns SUM(measure)
+// queries into COUNT queries (Appendix A.1.1).
+func MeasureBiasedView(tbl *Table, measure string, targetRows int, seed int64) (*Table, error) {
+	return engine.MeasureBiasedView(tbl, measure, targetRows, seed)
+}
+
+// DefaultOptions returns the paper's default configuration scaled to a
+// dataset of totalRows tuples: k=10, ε=0.04, δ=0.01, σ=0.0008,
+// lookahead=1024 blocks, FastMatch executor, and a stage-1 sample of
+// max(rows/20, 2000) capped at the paper's m = 5·10⁵.
+func DefaultOptions(totalRows int) Options {
+	m := totalRows / 20
+	if m < 2000 {
+		m = 2000
+	}
+	if m > 500_000 {
+		m = 500_000
+	}
+	return Options{
+		Params: Params{
+			K:             10,
+			Epsilon:       0.04,
+			Delta:         0.01,
+			Sigma:         0.0008,
+			Stage1Samples: m,
+			Metric:        MetricL1,
+		},
+		Executor:   FastMatch,
+		Lookahead:  1024,
+		StartBlock: -1,
+	}
+}

@@ -1,0 +1,148 @@
+package bitmap
+
+import (
+	"fmt"
+
+	"fastmatch/internal/colstore"
+)
+
+// DensityMap stores, for each (attribute value, block) pair, the number of
+// tuples in the block with that value, saturating at 65535. Density maps
+// are the "slightly costlier" structure from Appendix A.1.2 that lets
+// FastMatch estimate how many tuples in a block satisfy an arbitrary
+// boolean predicate over attribute values, enabling AnyActive selection
+// for predicate-defined candidates.
+type DensityMap struct {
+	counts [][]uint16 // [value][block]
+	blocks int
+}
+
+// BuildDensity scans the column and constructs its density map.
+func BuildDensity(tbl *colstore.Table, columnName string) (*DensityMap, error) {
+	col, err := tbl.Column(columnName)
+	if err != nil {
+		return nil, err
+	}
+	nb := tbl.NumBlocks()
+	dm := &DensityMap{counts: make([][]uint16, col.Cardinality()), blocks: nb}
+	for v := range dm.counts {
+		dm.counts[v] = make([]uint16, nb)
+	}
+	for b := 0; b < nb; b++ {
+		lo, hi := tbl.BlockSpan(b)
+		for _, code := range col.Codes(lo, hi) {
+			if dm.counts[code][b] < ^uint16(0) {
+				dm.counts[code][b]++
+			}
+		}
+	}
+	return dm, nil
+}
+
+// NumBlocks returns the number of blocks covered.
+func (dm *DensityMap) NumBlocks() int { return dm.blocks }
+
+// Count returns the (saturated) tuple count for value v in block b.
+func (dm *DensityMap) Count(v uint32, b int) int {
+	return int(dm.counts[v][b])
+}
+
+// Predicate is a boolean combination of attribute-value tests evaluated
+// per block via density estimates. Leaves match a single value of a single
+// indexed column; internal nodes combine children with AND/OR.
+type Predicate interface {
+	// EstimateBlock returns an upper bound on the number of tuples in
+	// block b that satisfy the predicate, and whether the block might
+	// contain any at all.
+	EstimateBlock(b int) int
+	// Matches evaluates the predicate on concrete per-column codes.
+	Matches(codes map[string]uint32) bool
+	fmt.Stringer
+}
+
+// ValuePred matches Column == value (by code).
+type ValuePred struct {
+	Column string
+	Code   uint32
+	DM     *DensityMap
+}
+
+// EstimateBlock returns the exact per-block count of matching tuples.
+func (p *ValuePred) EstimateBlock(b int) int { return p.DM.Count(p.Code, b) }
+
+// Matches reports whether the tuple's code for the column equals the
+// predicate value. A missing column never matches.
+func (p *ValuePred) Matches(codes map[string]uint32) bool {
+	c, ok := codes[p.Column]
+	return ok && c == p.Code
+}
+
+func (p *ValuePred) String() string { return fmt.Sprintf("%s=%d", p.Column, p.Code) }
+
+// AndPred matches the conjunction of its children. The block estimate is
+// the minimum of the children's estimates — an upper bound (not exact,
+// since matching tuples for different conjuncts may be disjoint), which is
+// all AnyActive needs: it must never skip a block that could hold samples.
+type AndPred struct{ Children []Predicate }
+
+// EstimateBlock returns min over children (upper bound on the conjunction).
+func (p *AndPred) EstimateBlock(b int) int {
+	if len(p.Children) == 0 {
+		return 0
+	}
+	est := p.Children[0].EstimateBlock(b)
+	for _, c := range p.Children[1:] {
+		if e := c.EstimateBlock(b); e < est {
+			est = e
+		}
+	}
+	return est
+}
+
+// Matches reports whether all children match.
+func (p *AndPred) Matches(codes map[string]uint32) bool {
+	for _, c := range p.Children {
+		if !c.Matches(codes) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *AndPred) String() string { return joinPreds(p.Children, " AND ") }
+
+// OrPred matches the disjunction of its children; the block estimate is
+// the sum of the children's estimates (an upper bound).
+type OrPred struct{ Children []Predicate }
+
+// EstimateBlock returns the sum over children (upper bound on the union).
+func (p *OrPred) EstimateBlock(b int) int {
+	est := 0
+	for _, c := range p.Children {
+		est += c.EstimateBlock(b)
+	}
+	return est
+}
+
+// Matches reports whether any child matches.
+func (p *OrPred) Matches(codes map[string]uint32) bool {
+	for _, c := range p.Children {
+		if c.Matches(codes) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *OrPred) String() string { return joinPreds(p.Children, " OR ") }
+
+func joinPreds(children []Predicate, sep string) string {
+	s := "("
+	for i, c := range children {
+		if i > 0 {
+			s += sep
+		}
+		s += c.String()
+	}
+	return s + ")"
+}

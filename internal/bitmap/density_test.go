@@ -1,0 +1,183 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/internal/colstore"
+)
+
+// buildTwoColTable builds a table with columns z1, z2 of the given codes.
+func buildTwoColTable(t testing.TB, blockSize int, z1, z2 []uint32, card int) *colstore.Table {
+	t.Helper()
+	b := colstore.NewBuilder(blockSize)
+	c1, _ := b.AddColumn("z1")
+	c2, _ := b.AddColumn("z2")
+	for v := 0; v < card; v++ {
+		c1.Dict.Intern(string(rune('a' + v)))
+		c2.Dict.Intern(string(rune('A' + v)))
+	}
+	for i := range z1 {
+		if err := b.AppendCodes([]uint32{z1[i], z2[i]}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestDensityMapCounts(t *testing.T) {
+	tbl := buildTestTable(t, 3, []uint32{0, 0, 1, 1, 1, 1}, 2)
+	dm, err := BuildDensity(tbl, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d", dm.NumBlocks())
+	}
+	if dm.Count(0, 0) != 2 || dm.Count(1, 0) != 1 || dm.Count(1, 1) != 3 || dm.Count(0, 1) != 0 {
+		t.Fatalf("counts wrong: %d %d %d %d",
+			dm.Count(0, 0), dm.Count(1, 0), dm.Count(1, 1), dm.Count(0, 1))
+	}
+}
+
+func TestBuildDensityMissingColumn(t *testing.T) {
+	tbl := buildTestTable(t, 2, []uint32{0}, 1)
+	if _, err := BuildDensity(tbl, "nope"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+// Property: density counts match brute force.
+func TestDensityInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		card := rng.Intn(6) + 1
+		codes := make([]uint32, n)
+		for i := range codes {
+			codes[i] = uint32(rng.Intn(card))
+		}
+		tbl := buildTestTable(t, rng.Intn(16)+1, codes, card)
+		dm, err := BuildDensity(tbl, "z")
+		if err != nil {
+			return false
+		}
+		for b := 0; b < tbl.NumBlocks(); b++ {
+			lo, hi := tbl.BlockSpan(b)
+			counts := make(map[uint32]int)
+			for _, c := range codes[lo:hi] {
+				counts[c]++
+			}
+			for v := 0; v < card; v++ {
+				if dm.Count(uint32(v), b) != counts[uint32(v)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicateMatching(t *testing.T) {
+	tbl := buildTwoColTable(t, 2, []uint32{0, 1, 0, 1}, []uint32{0, 0, 1, 1}, 2)
+	dm1, _ := BuildDensity(tbl, "z1")
+	dm2, _ := BuildDensity(tbl, "z2")
+	p1 := &ValuePred{Column: "z1", Code: 0, DM: dm1}
+	p2 := &ValuePred{Column: "z2", Code: 1, DM: dm2}
+	and := &AndPred{Children: []Predicate{p1, p2}}
+	or := &OrPred{Children: []Predicate{p1, p2}}
+
+	if !p1.Matches(map[string]uint32{"z1": 0}) || p1.Matches(map[string]uint32{"z1": 1}) {
+		t.Fatal("ValuePred.Matches wrong")
+	}
+	if p1.Matches(map[string]uint32{"other": 0}) {
+		t.Fatal("missing column should not match")
+	}
+	if !and.Matches(map[string]uint32{"z1": 0, "z2": 1}) {
+		t.Fatal("AndPred should match")
+	}
+	if and.Matches(map[string]uint32{"z1": 0, "z2": 0}) {
+		t.Fatal("AndPred should not match")
+	}
+	if !or.Matches(map[string]uint32{"z1": 5, "z2": 1}) {
+		t.Fatal("OrPred should match")
+	}
+	if or.Matches(map[string]uint32{"z1": 5, "z2": 5}) {
+		t.Fatal("OrPred should not match")
+	}
+}
+
+// Property: predicate block estimates are sound upper bounds — the true
+// number of matching tuples in a block never exceeds the estimate. This is
+// the safety AnyActive needs: a block is only skipped when the estimate is
+// zero, so no matching tuples are ever skipped.
+func TestPredicateEstimateSoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400) + 4
+		card := 3
+		z1 := make([]uint32, n)
+		z2 := make([]uint32, n)
+		for i := range z1 {
+			z1[i] = uint32(rng.Intn(card))
+			z2[i] = uint32(rng.Intn(card))
+		}
+		tbl := buildTwoColTable(t, rng.Intn(8)+2, z1, z2, card)
+		dm1, _ := BuildDensity(tbl, "z1")
+		dm2, _ := BuildDensity(tbl, "z2")
+		pA := &ValuePred{Column: "z1", Code: uint32(rng.Intn(card)), DM: dm1}
+		pB := &ValuePred{Column: "z2", Code: uint32(rng.Intn(card)), DM: dm2}
+		preds := []Predicate{
+			pA,
+			&AndPred{Children: []Predicate{pA, pB}},
+			&OrPred{Children: []Predicate{pA, pB}},
+		}
+		for b := 0; b < tbl.NumBlocks(); b++ {
+			lo, hi := tbl.BlockSpan(b)
+			for _, p := range preds {
+				truth := 0
+				for i := lo; i < hi; i++ {
+					if p.Matches(map[string]uint32{"z1": z1[i], "z2": z2[i]}) {
+						truth++
+					}
+				}
+				if truth > p.EstimateBlock(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndPredEstimate(t *testing.T) {
+	p := &AndPred{}
+	if p.EstimateBlock(0) != 0 {
+		t.Fatal("empty AND should estimate 0")
+	}
+	if !p.Matches(nil) {
+		t.Fatal("empty AND is vacuously true")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p1 := &ValuePred{Column: "z1", Code: 2}
+	and := &AndPred{Children: []Predicate{p1, p1}}
+	or := &OrPred{Children: []Predicate{p1}}
+	if p1.String() != "z1=2" {
+		t.Fatalf("ValuePred string %q", p1.String())
+	}
+	if and.String() != "(z1=2 AND z1=2)" {
+		t.Fatalf("AndPred string %q", and.String())
+	}
+	if or.String() != "(z1=2)" {
+		t.Fatalf("OrPred string %q", or.String())
+	}
+}

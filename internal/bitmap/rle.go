@@ -1,0 +1,141 @@
+package bitmap
+
+import "fmt"
+
+// RLEBitset is a run-length-encoded bitmap in the spirit of WAH/EWAH
+// compression (§4.1 notes bitmaps are amenable to significant
+// compression). Runs alternate between 0s and 1s, always starting with a
+// 0-run (possibly of length zero). It supports the read-side operations
+// the sampling engine needs; mutation happens on the uncompressed form.
+type RLEBitset struct {
+	runs []uint32 // alternating 0-run, 1-run, 0-run, ... lengths
+	n    int
+}
+
+// Compress converts a Bitset to run-length form.
+func Compress(b *Bitset) *RLEBitset {
+	r := &RLEBitset{n: b.Len()}
+	cur := false // current run value; first run encodes 0s
+	var runLen uint32
+	for i := 0; i < b.Len(); i++ {
+		v := b.Get(i)
+		if v == cur {
+			runLen++
+			continue
+		}
+		r.runs = append(r.runs, runLen)
+		cur = v
+		runLen = 1
+	}
+	r.runs = append(r.runs, runLen)
+	return r
+}
+
+// Len returns the number of bits represented.
+func (r *RLEBitset) Len() int { return r.n }
+
+// NumRuns returns the number of stored runs (compression metric).
+func (r *RLEBitset) NumRuns() int { return len(r.runs) }
+
+// CompressedWords returns the storage size in 32-bit words, for comparing
+// against the dense representation's 64-bit words.
+func (r *RLEBitset) CompressedWords() int { return len(r.runs) }
+
+// Get reports bit i by walking the runs. O(runs); intended for verification
+// and for sparse bitmaps where runs ≪ bits.
+func (r *RLEBitset) Get(i int) bool {
+	if i < 0 || i >= r.n {
+		return false
+	}
+	pos := 0
+	val := false
+	for _, run := range r.runs {
+		pos += int(run)
+		if i < pos {
+			return val
+		}
+		val = !val
+	}
+	return false
+}
+
+// Decompress reconstructs the dense bitset.
+func (r *RLEBitset) Decompress() *Bitset {
+	b := NewBitset(r.n)
+	pos := 0
+	val := false
+	for _, run := range r.runs {
+		if val {
+			for i := pos; i < pos+int(run); i++ {
+				b.Set(i)
+			}
+		}
+		pos += int(run)
+		val = !val
+	}
+	return b
+}
+
+// Count returns the number of set bits without decompressing.
+func (r *RLEBitset) Count() int {
+	c := 0
+	val := false
+	for _, run := range r.runs {
+		if val {
+			c += int(run)
+		}
+		val = !val
+	}
+	return c
+}
+
+// Validate checks internal consistency (runs sum to the bit length).
+func (r *RLEBitset) Validate() error {
+	sum := 0
+	for _, run := range r.runs {
+		sum += int(run)
+	}
+	if sum != r.n {
+		return fmt.Errorf("bitmap: RLE runs sum to %d, want %d", sum, r.n)
+	}
+	return nil
+}
+
+// IndexCompression summarizes how an Index would compress under RLE —
+// quantifying §4.1's observation that per-block bitmaps are highly
+// compressible (rare attribute values produce long zero runs).
+type IndexCompression struct {
+	// DenseBytes is the dense bitset storage across all values.
+	DenseBytes int
+	// CompressedBytes is the RLE storage across all values.
+	CompressedBytes int
+	// MaxRuns is the largest per-value run count.
+	MaxRuns int
+}
+
+// Ratio returns dense/compressed (≥ 1 means compression helps).
+func (c IndexCompression) Ratio() float64 {
+	if c.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(c.DenseBytes) / float64(c.CompressedBytes)
+}
+
+// CompressionStats compresses every per-value bitset of the index and
+// reports the aggregate storage comparison. The engine keeps the dense
+// form for O(1) word probes; these stats support capacity planning for
+// high-cardinality candidate attributes (TAXI's Location index dominates
+// index memory).
+func (ix *Index) CompressionStats() IndexCompression {
+	var cs IndexCompression
+	for v := range ix.perValue {
+		bs := ix.perValue[v]
+		cs.DenseBytes += bs.NumWords() * 8
+		r := Compress(bs)
+		cs.CompressedBytes += r.CompressedWords() * 4
+		if r.NumRuns() > cs.MaxRuns {
+			cs.MaxRuns = r.NumRuns()
+		}
+	}
+	return cs
+}

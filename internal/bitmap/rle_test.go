@@ -1,0 +1,98 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRoundTripSimple(t *testing.T) {
+	b := NewBitset(10)
+	b.Set(2)
+	b.Set(3)
+	b.Set(9)
+	r := Compress(b)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", r.Count())
+	}
+	d := r.Decompress()
+	for i := 0; i < 10; i++ {
+		if d.Get(i) != b.Get(i) || r.Get(i) != b.Get(i) {
+			t.Fatalf("bit %d differs after round trip", i)
+		}
+	}
+}
+
+func TestRLEGetOutOfRange(t *testing.T) {
+	r := Compress(NewBitset(5))
+	if r.Get(-1) || r.Get(5) {
+		t.Fatal("out-of-range Get should be false")
+	}
+}
+
+func TestRLEEmptyAndFull(t *testing.T) {
+	empty := Compress(NewBitset(100))
+	if empty.Count() != 0 || empty.NumRuns() != 1 {
+		t.Fatalf("empty: count=%d runs=%d", empty.Count(), empty.NumRuns())
+	}
+	full := NewBitset(100)
+	for i := 0; i < 100; i++ {
+		full.Set(i)
+	}
+	r := Compress(full)
+	if r.Count() != 100 || r.NumRuns() != 2 {
+		t.Fatalf("full: count=%d runs=%d", r.Count(), r.NumRuns())
+	}
+	if r.CompressedWords() != 2 {
+		t.Fatalf("CompressedWords = %d", r.CompressedWords())
+	}
+}
+
+// Property: compress/decompress is the identity and Count is preserved.
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(seed int64, n16 uint16, density uint8) bool {
+		n := int(n16%2000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(density%100) / 100
+		b := NewBitset(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				b.Set(i)
+			}
+		}
+		r := Compress(b)
+		if r.Validate() != nil || r.Count() != b.Count() {
+			return false
+		}
+		d := r.Decompress()
+		for i := 0; i < n; i++ {
+			if d.Get(i) != b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLECompressesSparse(t *testing.T) {
+	// A sparse bitmap (few clustered runs) should compress far below the
+	// dense size.
+	b := NewBitset(1 << 16)
+	for i := 1000; i < 1010; i++ {
+		b.Set(i)
+	}
+	r := Compress(b)
+	if r.NumRuns() != 3 {
+		t.Fatalf("NumRuns = %d, want 3", r.NumRuns())
+	}
+	denseWords := b.NumWords() * 2 // 64-bit words in 32-bit units
+	if r.CompressedWords() >= denseWords {
+		t.Fatalf("no compression achieved: %d vs %d", r.CompressedWords(), denseWords)
+	}
+}

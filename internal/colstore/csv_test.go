@@ -1,0 +1,124 @@
+package colstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `country,bracket,income
+greece,low,10
+greece,high,90
+italy,low,20
+italy,high,70
+`
+
+func TestReadCSVBasic(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{Measures: []string{"income"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	c, err := tbl.Column("country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cardinality() != 2 {
+		t.Fatalf("country cardinality = %d", c.Cardinality())
+	}
+	m, err := tbl.Measure("income")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value(1) != 90 {
+		t.Fatalf("income[1] = %g", m.Value(1))
+	}
+}
+
+func TestReadCSVMissingMeasureColumn(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{Measures: []string{"nope"}})
+	if err == nil {
+		t.Fatal("missing measure column accepted")
+	}
+}
+
+func TestReadCSVInvalidRows(t *testing.T) {
+	bad := "a,b\nx,1\n,2\nNA,3\ny,notanumber\nz,4\n"
+	// Strict mode fails.
+	if _, err := ReadCSV(strings.NewReader(bad), CSVOptions{Measures: []string{"b"}}); err == nil {
+		t.Fatal("strict mode accepted invalid rows")
+	}
+	// DropInvalid keeps the 2 valid rows.
+	tbl, err := ReadCSV(strings.NewReader(bad), CSVOptions{Measures: []string{"b"}, DropInvalid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tbl.NumRows())
+	}
+}
+
+func TestReadCSVNegativeMeasureRejected(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\nx,-1\n"), CSVOptions{Measures: []string{"b"}}); err == nil {
+		t.Fatal("negative measure accepted in strict mode")
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{Measures: []string{"income"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := ReadCSV(&buf, CSVOptions{Measures: []string{"income"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.NumRows() != tbl.NumRows() {
+		t.Fatalf("round trip rows %d != %d", tbl2.NumRows(), tbl.NumRows())
+	}
+	c1, _ := tbl.Column("bracket")
+	c2, _ := tbl2.Column("bracket")
+	for i := 0; i < tbl.NumRows(); i++ {
+		if c1.Dict.Value(c1.Code(i)) != c2.Dict.Value(c2.Code(i)) {
+			t.Fatal("round trip changed values")
+		}
+	}
+}
+
+func TestReadCSVShuffle(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("v\n")
+	for i := 0; i < 100; i++ {
+		if i < 50 {
+			sb.WriteString("a\n")
+		} else {
+			sb.WriteString("b\n")
+		}
+	}
+	seed := int64(3)
+	tbl, err := ReadCSV(strings.NewReader(sb.String()), CSVOptions{ShuffleSeed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tbl.Column("v")
+	// After shuffling, the first 50 rows should mix both values.
+	first := map[string]int{}
+	for i := 0; i < 50; i++ {
+		first[c.Dict.Value(c.Code(i))]++
+	}
+	if first["a"] == 50 || first["b"] == 50 {
+		t.Fatal("shuffle left data sorted")
+	}
+}

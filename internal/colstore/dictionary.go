@@ -1,0 +1,58 @@
+// Package colstore implements the column-oriented storage engine FastMatch
+// runs on: dictionary-encoded categorical columns, float measure columns,
+// a block layout for locality-aware sampling, the upfront random shuffle
+// that turns sequential scans into uniform samples without replacement
+// (Challenge 1 in §4.2), and binning for continuous attributes
+// (Appendix A.1.4/A.1.6).
+package colstore
+
+import "fmt"
+
+// Dictionary maps attribute values (strings) to dense codes. Codes are
+// assigned in insertion order, so a dictionary built deterministically
+// yields deterministic codes — useful for reproducible experiments.
+type Dictionary struct {
+	values []string
+	index  map[string]uint32
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{index: make(map[string]uint32)}
+}
+
+// Intern returns the code for value, assigning a fresh one if unseen.
+func (d *Dictionary) Intern(value string) uint32 {
+	if code, ok := d.index[value]; ok {
+		return code
+	}
+	code := uint32(len(d.values))
+	d.values = append(d.values, value)
+	d.index[value] = code
+	return code
+}
+
+// Code returns the code for value and whether it is present.
+func (d *Dictionary) Code(value string) (uint32, bool) {
+	code, ok := d.index[value]
+	return code, ok
+}
+
+// Value returns the string for a code. It panics on out-of-range codes,
+// which indicate corruption rather than recoverable input errors.
+func (d *Dictionary) Value(code uint32) string {
+	if int(code) >= len(d.values) {
+		panic(fmt.Sprintf("colstore: dictionary code %d out of range (size %d)", code, len(d.values)))
+	}
+	return d.values[code]
+}
+
+// Len returns the number of distinct values (|V_A| for the attribute).
+func (d *Dictionary) Len() int { return len(d.values) }
+
+// Values returns a copy of all values in code order.
+func (d *Dictionary) Values() []string {
+	out := make([]string, len(d.values))
+	copy(out, d.values)
+	return out
+}

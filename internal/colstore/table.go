@@ -1,0 +1,250 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Column is a dictionary-encoded categorical column. Codes index into the
+// column's Dictionary.
+type Column struct {
+	Name  string
+	Dict  *Dictionary
+	codes []uint32
+}
+
+// Code returns the dictionary code at row i.
+func (c *Column) Code(i int) uint32 { return c.codes[i] }
+
+// Codes returns the backing code slice for rows [lo, hi). The returned
+// slice aliases column storage; callers must treat it as read-only.
+func (c *Column) Codes(lo, hi int) []uint32 { return c.codes[lo:hi] }
+
+// Cardinality returns the number of distinct values in the column's domain.
+func (c *Column) Cardinality() int { return c.Dict.Len() }
+
+// MeasureColumn is a numeric column used for SUM aggregations
+// (Appendix A.1.1). Values must be non-negative for measure-biased
+// sampling to be well defined.
+type MeasureColumn struct {
+	Name   string
+	values []float64
+}
+
+// Value returns the measure at row i.
+func (m *MeasureColumn) Value(i int) float64 { return m.values[i] }
+
+// Values returns the backing values for rows [lo, hi), read-only.
+func (m *MeasureColumn) Values(lo, hi int) []float64 { return m.values[lo:hi] }
+
+// Table is an immutable, column-oriented, in-memory relation divided into
+// fixed-size blocks. All I/O in the FastMatch engine happens at block
+// granularity.
+type Table struct {
+	cols      []*Column
+	colByName map[string]int
+	measures  []*MeasureColumn
+	measByID  map[string]int
+	rows      int
+	blockSize int
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return t.rows }
+
+// BlockSize returns the tuples-per-block granularity.
+func (t *Table) BlockSize() int { return t.blockSize }
+
+// NumBlocks returns the number of blocks (the last may be partial).
+func (t *Table) NumBlocks() int {
+	if t.rows == 0 {
+		return 0
+	}
+	return (t.rows + t.blockSize - 1) / t.blockSize
+}
+
+// BlockSpan returns the row range [lo, hi) covered by block b.
+func (t *Table) BlockSpan(b int) (lo, hi int) {
+	lo = b * t.blockSize
+	hi = lo + t.blockSize
+	if hi > t.rows {
+		hi = t.rows
+	}
+	return lo, hi
+}
+
+// Column returns the named categorical column.
+func (t *Table) Column(name string) (*Column, error) {
+	idx, ok := t.colByName[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: no column %q", name)
+	}
+	return t.cols[idx], nil
+}
+
+// Columns lists the categorical column names in declaration order.
+func (t *Table) Columns() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Measure returns the named measure column.
+func (t *Table) Measure(name string) (*MeasureColumn, error) {
+	idx, ok := t.measByID[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: no measure column %q", name)
+	}
+	return t.measures[idx], nil
+}
+
+// Builder accumulates rows and produces an immutable Table. Columns are
+// declared up front; rows are appended code-wise (fast path, used by the
+// synthetic generators) or value-wise.
+type Builder struct {
+	cols      []*Column
+	colByName map[string]int
+	measures  []*MeasureColumn
+	measByID  map[string]int
+	rows      int
+	blockSize int
+}
+
+// NewBuilder creates a builder with the given block size (tuples per
+// block). The paper's default of 600 bytes per column block corresponds to
+// 150 four-byte codes; we default to 256 when blockSize ≤ 0.
+func NewBuilder(blockSize int) *Builder {
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	return &Builder{
+		colByName: make(map[string]int),
+		measByID:  make(map[string]int),
+		blockSize: blockSize,
+	}
+}
+
+// AddColumn declares a categorical column with its own dictionary and
+// returns it for direct code appends.
+func (b *Builder) AddColumn(name string) (*Column, error) {
+	if _, dup := b.colByName[name]; dup {
+		return nil, fmt.Errorf("colstore: duplicate column %q", name)
+	}
+	c := &Column{Name: name, Dict: NewDictionary()}
+	b.colByName[name] = len(b.cols)
+	b.cols = append(b.cols, c)
+	return c, nil
+}
+
+// AddMeasure declares a numeric measure column.
+func (b *Builder) AddMeasure(name string) (*MeasureColumn, error) {
+	if _, dup := b.measByID[name]; dup {
+		return nil, fmt.Errorf("colstore: duplicate measure %q", name)
+	}
+	m := &MeasureColumn{Name: name}
+	b.measByID[name] = len(b.measures)
+	b.measures = append(b.measures, m)
+	return m, nil
+}
+
+// AppendRow appends one tuple given per-column string values (keyed by
+// column name) and per-measure numeric values. Missing columns are an
+// error: the store has no NULL concept, mirroring the paper's
+// preprocessing step that drops rows with N/A values.
+func (b *Builder) AppendRow(values map[string]string, measures map[string]float64) error {
+	for _, c := range b.cols {
+		v, ok := values[c.Name]
+		if !ok {
+			return fmt.Errorf("colstore: row missing value for column %q", c.Name)
+		}
+		c.codes = append(c.codes, c.Dict.Intern(v))
+	}
+	for _, m := range b.measures {
+		v, ok := measures[m.Name]
+		if !ok {
+			return fmt.Errorf("colstore: row missing measure %q", m.Name)
+		}
+		if v < 0 {
+			return fmt.Errorf("colstore: negative measure %q = %g", m.Name, v)
+		}
+		m.values = append(m.values, v)
+	}
+	b.rows++
+	return nil
+}
+
+// AppendCodes appends one tuple given pre-interned codes in column
+// declaration order, plus measures in declaration order. This is the fast
+// path used by the dataset generators.
+func (b *Builder) AppendCodes(codes []uint32, measures []float64) error {
+	if len(codes) != len(b.cols) {
+		return fmt.Errorf("colstore: got %d codes for %d columns", len(codes), len(b.cols))
+	}
+	if len(measures) != len(b.measures) {
+		return fmt.Errorf("colstore: got %d measures for %d measure columns", len(measures), len(b.measures))
+	}
+	for i, c := range b.cols {
+		if int(codes[i]) >= c.Dict.Len() {
+			return fmt.Errorf("colstore: code %d out of range for column %q (dict size %d)",
+				codes[i], c.Name, c.Dict.Len())
+		}
+		c.codes = append(c.codes, codes[i])
+	}
+	for i, m := range b.measures {
+		if measures[i] < 0 {
+			return fmt.Errorf("colstore: negative measure %q = %g", b.measures[i].Name, measures[i])
+		}
+		m.values = append(m.values, measures[i])
+	}
+	b.rows++
+	return nil
+}
+
+// Grow reserves capacity for n additional rows in every column.
+func (b *Builder) Grow(n int) {
+	for _, c := range b.cols {
+		if cap(c.codes)-len(c.codes) < n {
+			grown := make([]uint32, len(c.codes), len(c.codes)+n)
+			copy(grown, c.codes)
+			c.codes = grown
+		}
+	}
+	for _, m := range b.measures {
+		if cap(m.values)-len(m.values) < n {
+			grown := make([]float64, len(m.values), len(m.values)+n)
+			copy(grown, m.values)
+			m.values = grown
+		}
+	}
+}
+
+// Shuffle randomly permutes the rows of every column with a shared
+// Fisher–Yates permutation seeded by seed. After shuffling, a sequential
+// scan from any starting block is a uniform sample without replacement —
+// the data-layout trick of Challenge 1.
+func (b *Builder) Shuffle(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := b.rows - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		for _, c := range b.cols {
+			c.codes[i], c.codes[j] = c.codes[j], c.codes[i]
+		}
+		for _, m := range b.measures {
+			m.values[i], m.values[j] = m.values[j], m.values[i]
+		}
+	}
+}
+
+// Build finalizes the table. The builder must not be reused afterwards.
+func (b *Builder) Build() *Table {
+	return &Table{
+		cols:      b.cols,
+		colByName: b.colByName,
+		measures:  b.measures,
+		measByID:  b.measByID,
+		rows:      b.rows,
+		blockSize: b.blockSize,
+	}
+}

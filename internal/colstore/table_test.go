@@ -1,0 +1,304 @@
+package colstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryIntern(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("alpha")
+	b := d.Intern("beta")
+	a2 := d.Intern("alpha")
+	if a != a2 {
+		t.Fatalf("re-intern changed code: %d vs %d", a, a2)
+	}
+	if a == b {
+		t.Fatal("distinct values share a code")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Value(a) != "alpha" || d.Value(b) != "beta" {
+		t.Fatal("Value round trip failed")
+	}
+	if _, ok := d.Code("gamma"); ok {
+		t.Fatal("Code found missing value")
+	}
+	vals := d.Values()
+	if len(vals) != 2 || vals[0] != "alpha" || vals[1] != "beta" {
+		t.Fatalf("Values() = %v", vals)
+	}
+}
+
+func TestDictionaryValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value out of range did not panic")
+		}
+	}()
+	NewDictionary().Value(3)
+}
+
+func TestBuilderAppendRow(t *testing.T) {
+	b := NewBuilder(4)
+	if _, err := b.AddColumn("country"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddColumn("bracket"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddMeasure("income"); err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		c, br string
+		inc   float64
+	}{
+		{"greece", "low", 10}, {"greece", "high", 90}, {"italy", "low", 20},
+	}
+	for _, r := range rows {
+		err := b.AppendRow(map[string]string{"country": r.c, "bracket": r.br},
+			map[string]float64{"income": r.inc})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := b.Build()
+	if tbl.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	country, err := tbl.Column("country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if country.Dict.Value(country.Code(0)) != "greece" || country.Dict.Value(country.Code(2)) != "italy" {
+		t.Fatal("column values wrong")
+	}
+	inc, err := tbl.Measure("income")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Value(1) != 90 {
+		t.Fatalf("measure value = %g", inc.Value(1))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(0)
+	if _, err := b.AddColumn("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddColumn("x"); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := b.AddMeasure("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddMeasure("m"); err == nil {
+		t.Fatal("duplicate measure accepted")
+	}
+	if err := b.AppendRow(map[string]string{}, map[string]float64{"m": 1}); err == nil {
+		t.Fatal("missing column value accepted")
+	}
+	if err := b.AppendRow(map[string]string{"x": "v"}, map[string]float64{}); err == nil {
+		t.Fatal("missing measure accepted")
+	}
+	if err := b.AppendRow(map[string]string{"x": "v"}, map[string]float64{"m": -2}); err == nil {
+		t.Fatal("negative measure accepted")
+	}
+}
+
+func TestAppendCodesValidation(t *testing.T) {
+	b := NewBuilder(0)
+	col, _ := b.AddColumn("z")
+	col.Dict.Intern("a")
+	if err := b.AppendCodes([]uint32{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendCodes([]uint32{5}, nil); err == nil {
+		t.Fatal("out-of-dictionary code accepted")
+	}
+	if err := b.AppendCodes([]uint32{0, 1}, nil); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := b.AppendCodes([]uint32{0}, []float64{1}); err == nil {
+		t.Fatal("measures for measureless table accepted")
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	b := NewBuilder(4)
+	col, _ := b.AddColumn("z")
+	col.Dict.Intern("v")
+	for i := 0; i < 10; i++ {
+		if err := b.AppendCodes([]uint32{0}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := b.Build()
+	if tbl.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d, want 3", tbl.NumBlocks())
+	}
+	lo, hi := tbl.BlockSpan(2)
+	if lo != 8 || hi != 10 {
+		t.Fatalf("BlockSpan(2) = [%d,%d), want [8,10)", lo, hi)
+	}
+	if tbl.BlockSize() != 4 {
+		t.Fatalf("BlockSize = %d", tbl.BlockSize())
+	}
+}
+
+func TestEmptyTableBlocks(t *testing.T) {
+	tbl := NewBuilder(8).Build()
+	if tbl.NumBlocks() != 0 || tbl.NumRows() != 0 {
+		t.Fatal("empty table should have zero blocks and rows")
+	}
+}
+
+func TestColumnLookupErrors(t *testing.T) {
+	tbl := NewBuilder(8).Build()
+	if _, err := tbl.Column("missing"); err == nil {
+		t.Fatal("missing column lookup succeeded")
+	}
+	if _, err := tbl.Measure("missing"); err == nil {
+		t.Fatal("missing measure lookup succeeded")
+	}
+}
+
+// Property: BlockSpan tiles [0, rows) exactly — every row is in exactly one
+// block and spans are contiguous.
+func TestBlockSpanTilesProperty(t *testing.T) {
+	f := func(rows16 uint16, bs8 uint8) bool {
+		rows := int(rows16 % 2000)
+		bs := int(bs8%64) + 1
+		b := NewBuilder(bs)
+		col, _ := b.AddColumn("z")
+		col.Dict.Intern("v")
+		for i := 0; i < rows; i++ {
+			if err := b.AppendCodes([]uint32{0}, nil); err != nil {
+				return false
+			}
+		}
+		tbl := b.Build()
+		next := 0
+		for blk := 0; blk < tbl.NumBlocks(); blk++ {
+			lo, hi := tbl.BlockSpan(blk)
+			if lo != next || hi <= lo {
+				return false
+			}
+			next = hi
+		}
+		return next == rows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Shuffle preserves the multiset of rows, including row-alignment
+// between columns and measures.
+func TestShufflePreservesRowsProperty(t *testing.T) {
+	f := func(seed int64, n16 uint16) bool {
+		n := int(n16%500) + 2
+		b := NewBuilder(16)
+		zc, _ := b.AddColumn("z")
+		xc, _ := b.AddColumn("x")
+		mc, _ := b.AddMeasure("m")
+		for v := 0; v < 8; v++ {
+			zc.Dict.Intern(string(rune('a' + v)))
+			xc.Dict.Intern(string(rune('A' + v)))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		type row struct {
+			z, x uint32
+			m    float64
+		}
+		var want []row
+		for i := 0; i < n; i++ {
+			r := row{uint32(rng.Intn(8)), uint32(rng.Intn(8)), float64(rng.Intn(100))}
+			want = append(want, r)
+			if err := b.AppendCodes([]uint32{r.z, r.x}, []float64{r.m}); err != nil {
+				return false
+			}
+		}
+		b.Shuffle(seed + 1)
+		tbl := b.Build()
+		var got []row
+		for i := 0; i < tbl.NumRows(); i++ {
+			got = append(got, row{zc.Code(i), xc.Code(i), mc.Value(i)})
+		}
+		key := func(r row) string {
+			return string(rune(r.z)) + "|" + string(rune(r.x)) + "|" + string(rune(int(r.m)))
+		}
+		ws := make([]string, n)
+		gs := make([]string, n)
+		for i := range want {
+			ws[i], gs[i] = key(want[i]), key(got[i])
+		}
+		sort.Strings(ws)
+		sort.Strings(gs)
+		for i := range ws {
+			if ws[i] != gs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleDeterministicBySeed(t *testing.T) {
+	build := func(seed int64) []uint32 {
+		b := NewBuilder(16)
+		zc, _ := b.AddColumn("z")
+		for v := 0; v < 4; v++ {
+			zc.Dict.Intern(string(rune('a' + v)))
+		}
+		for i := 0; i < 100; i++ {
+			_ = b.AppendCodes([]uint32{uint32(i % 4)}, nil)
+		}
+		b.Shuffle(seed)
+		tbl := b.Build()
+		out := make([]uint32, tbl.NumRows())
+		for i := range out {
+			out[i] = zc.Code(i)
+		}
+		return out
+	}
+	a, b2 := build(7), build(7)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatal("same seed produced different shuffles")
+		}
+	}
+	c := build(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shuffles (suspicious)")
+	}
+}
+
+func TestGrowPreservesData(t *testing.T) {
+	b := NewBuilder(8)
+	zc, _ := b.AddColumn("z")
+	mc, _ := b.AddMeasure("m")
+	zc.Dict.Intern("a")
+	_ = b.AppendCodes([]uint32{0}, []float64{3})
+	b.Grow(1000)
+	_ = b.AppendCodes([]uint32{0}, []float64{4})
+	tbl := b.Build()
+	if tbl.NumRows() != 2 || mc.Value(0) != 3 || mc.Value(1) != 4 {
+		t.Fatal("Grow corrupted builder state")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fastmatch/internal/histogram"
+)
+
+// stubSampler lets tests inject pathological sampler behaviour: empty
+// batches, errors, or never-exhausting streams.
+type stubSampler struct {
+	nCand, groups int
+	rows          int64
+	stage1Err     error
+	sampleErr     error
+	// emptyBatches makes SampleUntil return batches with no samples and
+	// Exhausted=false — a sampler that stalls without ever exhausting.
+	emptyBatches bool
+	calls        int
+}
+
+func (s *stubSampler) NumCandidates() int { return s.nCand }
+func (s *stubSampler) Groups() int        { return s.groups }
+func (s *stubSampler) TotalRows() int64   { return s.rows }
+
+func (s *stubSampler) batch() *Batch {
+	return &Batch{
+		Counts: make([]int64, s.nCand),
+		Hists:  make([]*histogram.Histogram, s.nCand),
+	}
+}
+
+func (s *stubSampler) Stage1(m int) (*Batch, error) {
+	if s.stage1Err != nil {
+		return nil, s.stage1Err
+	}
+	b := s.batch()
+	// Uniform-ish stage-1 sample: every candidate gets m/nCand tuples in
+	// group 0.
+	per := int64(m / s.nCand)
+	for i := 0; i < s.nCand; i++ {
+		b.Counts[i] = per
+		b.Drawn += per
+		h := histogram.New(s.groups)
+		for j := int64(0); j < per; j++ {
+			h.Add(0)
+		}
+		b.Hists[i] = h
+	}
+	return b, nil
+}
+
+func (s *stubSampler) SampleUntil(need map[int]int) (*Batch, error) {
+	s.calls++
+	if s.sampleErr != nil {
+		return nil, s.sampleErr
+	}
+	b := s.batch()
+	if s.emptyBatches {
+		return b, nil
+	}
+	for id, n := range need {
+		b.Counts[id] = int64(n)
+		b.Drawn += int64(n)
+		h := histogram.New(s.groups)
+		for j := 0; j < n; j++ {
+			h.Add(j % s.groups)
+		}
+		b.Hists[id] = h
+	}
+	return b, nil
+}
+
+func stubParams() Params {
+	return Params{
+		K: 2, Epsilon: 0.2, Delta: 0.05, Sigma: 0.001,
+		Stage1Samples: 1000, Metric: histogram.MetricL1,
+	}
+}
+
+func TestStage1ErrorPropagates(t *testing.T) {
+	s := &stubSampler{nCand: 5, groups: 4, rows: 100000, stage1Err: errors.New("disk on fire")}
+	_, err := Run(s, histogram.New(4), stubParams())
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("stage 1 error not propagated: %v", err)
+	}
+}
+
+func TestStage2ErrorPropagates(t *testing.T) {
+	s := &stubSampler{nCand: 5, groups: 4, rows: 100000, sampleErr: errors.New("cable unplugged")}
+	_, err := Run(s, histogram.New(4), stubParams())
+	if err == nil || !strings.Contains(err.Error(), "cable unplugged") {
+		t.Fatalf("stage 2 error not propagated: %v", err)
+	}
+}
+
+func TestMaxRoundsGuardsStalledSampler(t *testing.T) {
+	// A sampler that returns empty, non-exhausted batches forever must
+	// trip the MaxRounds guard instead of spinning.
+	s := &stubSampler{nCand: 5, groups: 4, rows: 100000, emptyBatches: true}
+	p := stubParams()
+	p.MaxRounds = 7
+	_, err := Run(s, histogram.New(4), p)
+	if err == nil || !strings.Contains(err.Error(), "did not terminate") {
+		t.Fatalf("stalled sampler not caught: %v", err)
+	}
+	if s.calls > 7 {
+		t.Fatalf("sampler called %d times, cap was 7", s.calls)
+	}
+}
+
+func TestRoundDemandDiagnostics(t *testing.T) {
+	pop := makePopulation(t, 30, 60_000, 12, 6, 0)
+	sam := pop.sampler(t, 31)
+	res, err := Run(sam, pop.targets, defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.RoundDemands) != res.Stats.Rounds {
+		t.Fatalf("demand diagnostics: %d entries for %d rounds",
+			len(res.Stats.RoundDemands), res.Stats.Rounds)
+	}
+	for i, d := range res.Stats.RoundDemands {
+		if d.SumNeed <= 0 || d.MaxNeed <= 0 || d.MaxNeedCandidate < 0 {
+			t.Fatalf("round %d demand empty: %+v", i+1, d)
+		}
+		if d.MaxNeed > d.SumNeed {
+			t.Fatalf("round %d: max %d > sum %d", i+1, d.MaxNeed, d.SumNeed)
+		}
+	}
+}
+
+func TestRoundBudgetDisabled(t *testing.T) {
+	// RoundBudget < 0 reverts to the paper's raw Equation (1); results
+	// must still satisfy the guarantees.
+	pop := makePopulation(t, 32, 80_000, 15, 6, 0)
+	sam := pop.sampler(t, 33)
+	p := defaultParams()
+	p.RoundBudget = -1
+	res, err := Run(sam, pop.targets, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop.checkGuarantees(t, res, p)
+}
+
+func TestRoundBudgetShapingReducesEarlyDemand(t *testing.T) {
+	// With shaping on, round-1 demands must not exceed roughly the budget
+	// times the max selectivity share... weaker check: round-1 SumNeed is
+	// no larger than without shaping.
+	pop := makePopulation(t, 33, 80_000, 15, 6, 0.2)
+	run := func(budget int) RunStats {
+		sam := pop.sampler(t, 34)
+		p := defaultParams()
+		p.RoundBudget = budget
+		res, err := Run(sam, pop.targets, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	shaped := run(0)
+	raw := run(-1)
+	if len(shaped.RoundDemands) == 0 || len(raw.RoundDemands) == 0 {
+		t.Skip("no stage-2 rounds on this seed")
+	}
+	if shaped.RoundDemands[0].SumNeed > raw.RoundDemands[0].SumNeed {
+		t.Fatalf("shaping increased round-1 demand: %d > %d",
+			shaped.RoundDemands[0].SumNeed, raw.RoundDemands[0].SumNeed)
+	}
+}
+
+func TestBatchIsExact(t *testing.T) {
+	b := &Batch{}
+	if b.IsExact(0) {
+		t.Fatal("nil Exact should report false")
+	}
+	b.Exact = []bool{true, false}
+	if !b.IsExact(0) || b.IsExact(1) {
+		t.Fatal("IsExact wrong")
+	}
+}
+
+func TestExactPValue(t *testing.T) {
+	if exactPValue(true) != 0 || exactPValue(false) != 1 {
+		t.Fatal("exactPValue mapping wrong")
+	}
+}
+
+func TestNoCandidatesError(t *testing.T) {
+	s := &stubSampler{nCand: 0, groups: 4, rows: 100}
+	if _, err := Run(s, histogram.New(4), stubParams()); err == nil {
+		t.Fatal("zero-candidate sampler accepted")
+	}
+}

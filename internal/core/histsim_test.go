@@ -1,0 +1,447 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastmatch/internal/histogram"
+)
+
+// synthPopulation builds a population of nCand candidates over groups
+// x-values. Candidate selectivities follow weights; per-candidate
+// distributions are mixtures of two prototypes so that candidates split
+// into a "close to prototype A" cluster and a "far" cluster.
+type synthPopulation struct {
+	z, x    []uint32
+	nCand   int
+	groups  int
+	exact   []*histogram.Histogram
+	totalN  int64
+	targets *histogram.Histogram
+}
+
+func makePopulation(t testing.TB, seed int64, rows, nCand, groups int, rareFraction float64) *synthPopulation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Candidate weights: mostly even, with a rare tail.
+	weights := make([]float64, nCand)
+	for i := range weights {
+		if float64(i) >= float64(nCand)*(1-rareFraction) {
+			weights[i] = 0.0001
+		} else {
+			weights[i] = 1 + rng.Float64()
+		}
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	cum := make([]float64, nCand)
+	run := 0.0
+	for i, w := range weights {
+		run += w / wsum
+		cum[i] = run
+	}
+	// Two prototypes over groups.
+	protoA := make([]float64, groups)
+	protoB := make([]float64, groups)
+	for g := range protoA {
+		protoA[g] = rng.Float64() + 0.2
+		protoB[g] = rng.Float64() + 0.2
+	}
+	// Per-candidate mixing coefficient: half the candidates near A.
+	mix := make([]float64, nCand)
+	for i := range mix {
+		if i%2 == 0 {
+			mix[i] = 0.9 + 0.1*rng.Float64()
+		} else {
+			mix[i] = 0.1 * rng.Float64()
+		}
+	}
+	dist := make([][]float64, nCand)
+	for i := range dist {
+		dist[i] = make([]float64, groups)
+		var s float64
+		for g := range dist[i] {
+			dist[i][g] = mix[i]*protoA[g] + (1-mix[i])*protoB[g]
+			s += dist[i][g]
+		}
+		for g := range dist[i] {
+			dist[i][g] /= s
+		}
+	}
+	pop := &synthPopulation{nCand: nCand, groups: groups}
+	pop.z = make([]uint32, rows)
+	pop.x = make([]uint32, rows)
+	for r := 0; r < rows; r++ {
+		u := rng.Float64()
+		zi := 0
+		for zi < nCand-1 && cum[zi] < u {
+			zi++
+		}
+		u = rng.Float64()
+		xi, acc := 0, 0.0
+		for g, p := range dist[zi] {
+			acc += p
+			if u <= acc {
+				xi = g
+				break
+			}
+		}
+		pop.z[r], pop.x[r] = uint32(zi), uint32(xi)
+	}
+	pop.totalN = int64(rows)
+	pop.exact = make([]*histogram.Histogram, nCand)
+	for i := range pop.exact {
+		pop.exact[i] = histogram.New(groups)
+	}
+	for r := range pop.z {
+		pop.exact[pop.z[r]].Add(int(pop.x[r]))
+	}
+	// Target: prototype A as counts.
+	tc := make([]float64, groups)
+	for g := range tc {
+		tc[g] = protoA[g] * 1000
+	}
+	pop.targets = histogram.FromCounts(tc)
+	return pop
+}
+
+func (p *synthPopulation) sampler(t testing.TB, seed int64) *SliceSampler {
+	t.Helper()
+	s, err := NewSliceSampler(p.z, p.x, p.nCand, p.groups, &seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// checkGuarantees verifies Guarantees 1 and 2 against the exact data.
+func (p *synthPopulation) checkGuarantees(t *testing.T, res *Result, params Params) {
+	t.Helper()
+	metric := params.Metric
+	inM := map[int]bool{}
+	var maxTrueDistInM float64
+	for _, rk := range res.TopK {
+		inM[rk.ID] = true
+		if d := metric.Distance(p.exact[rk.ID], p.targets); d > maxTrueDistInM {
+			maxTrueDistInM = d
+		}
+	}
+	// Guarantee 1 (separation).
+	for i := 0; i < p.nCand; i++ {
+		if inM[i] {
+			continue
+		}
+		sel := p.exact[i].Total() / float64(p.totalN)
+		if sel < params.Sigma {
+			continue
+		}
+		trueDist := metric.Distance(p.exact[i], p.targets)
+		if maxTrueDistInM-trueDist >= params.Epsilon {
+			t.Errorf("separation violated: excluded candidate %d (d=%g, sel=%g) is ≥ε closer than included max %g",
+				i, trueDist, sel, maxTrueDistInM)
+		}
+	}
+	// Guarantee 2 (reconstruction).
+	eps2 := params.Epsilon
+	if params.EpsilonReconstruct > 0 {
+		eps2 = params.EpsilonReconstruct
+	}
+	for id, h := range res.Hists {
+		if d := metric.Distance(h, p.exact[id]); d >= eps2 {
+			t.Errorf("reconstruction violated for candidate %d: d(est, exact) = %g ≥ ε %g", id, d, eps2)
+		}
+	}
+}
+
+func defaultParams() Params {
+	return Params{
+		K:             3,
+		Epsilon:       0.08,
+		Delta:         0.05,
+		Sigma:         0.001,
+		Stage1Samples: 20_000,
+		Metric:        histogram.MetricL1,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := defaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.K = 0 },
+		func(p *Params) { p.Epsilon = 0 },
+		func(p *Params) { p.Epsilon = 3 },
+		func(p *Params) { p.Epsilon = math.NaN() },
+		func(p *Params) { p.EpsilonReconstruct = -1 },
+		func(p *Params) { p.Delta = 0 },
+		func(p *Params) { p.Delta = 1 },
+		func(p *Params) { p.Sigma = -0.1 },
+		func(p *Params) { p.Sigma = 1 },
+		func(p *Params) { p.Stage1Samples = -5 },
+		func(p *Params) { p.KRange.KMax = 3; p.KRange.KMin = 0 },
+		func(p *Params) { p.KRange.KMax = 3; p.KRange.KMin = 5 },
+	}
+	for i, mutate := range bad {
+		p := defaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	pop := makePopulation(t, 1, 2000, 10, 6, 0)
+	s := pop.sampler(t, 2)
+	if _, err := Run(s, nil, defaultParams()); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if _, err := Run(s, histogram.New(5), defaultParams()); err == nil {
+		t.Fatal("mismatched target groups accepted")
+	}
+	p := defaultParams()
+	p.K = 0
+	if _, err := Run(s, pop.targets, p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestRunFindsExactTopKOnSmallData(t *testing.T) {
+	// Small dataset: the algorithm must exhaust data and return the exact
+	// answer with Exact=true.
+	pop := makePopulation(t, 2, 3000, 12, 6, 0)
+	s := pop.sampler(t, 3)
+	params := defaultParams()
+	params.Epsilon = 0.01 // demand so much precision it must scan everything
+	params.Delta = 0.001
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("expected exact exhaustion on tiny data; stats: %+v", res.Stats)
+	}
+	// Compare against brute-force top-k.
+	dist := make([]float64, pop.nCand)
+	for i := range dist {
+		dist[i] = histogram.L1(pop.exact[i], pop.targets)
+	}
+	pruned := map[int]bool{}
+	for _, i := range res.Pruned {
+		pruned[i] = true
+	}
+	var ids []int
+	for i := range dist {
+		if !pruned[i] {
+			ids = append(ids, i)
+		}
+	}
+	want := histogram.TopK(dist, ids, params.K)
+	if len(res.TopK) != len(want) {
+		t.Fatalf("topk size %d want %d", len(res.TopK), len(want))
+	}
+	gotSet := map[int]bool{}
+	for _, rk := range res.TopK {
+		gotSet[rk.ID] = true
+	}
+	for _, w := range want {
+		if !gotSet[w.ID] {
+			t.Errorf("exact top-k missing candidate %d", w.ID)
+		}
+	}
+}
+
+func TestRunSatisfiesGuarantees(t *testing.T) {
+	// Across several seeds, both guarantees must hold (δ=0.05; with 6 runs
+	// the chance of any legitimate violation is ≈ 26%, but the bound is
+	// extremely loose in practice — the paper observed zero violations
+	// across all runs; treat any violation as failure).
+	for seed := int64(0); seed < 6; seed++ {
+		pop := makePopulation(t, 10+seed, 120_000, 30, 8, 0.1)
+		s := pop.sampler(t, 100+seed)
+		params := defaultParams()
+		res, err := Run(s, pop.targets, params)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.TopK) != params.K {
+			t.Fatalf("seed %d: |M| = %d, want %d", seed, len(res.TopK), params.K)
+		}
+		pop.checkGuarantees(t, res, params)
+	}
+}
+
+func TestRunUsesSamplingOnLargeData(t *testing.T) {
+	pop := makePopulation(t, 3, 200_000, 20, 6, 0)
+	s := pop.sampler(t, 4)
+	params := defaultParams()
+	params.Epsilon = 0.15
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Skip("data exhausted despite large size; loosen epsilon")
+	}
+	if res.Stats.TotalSamples() >= int64(200_000) {
+		t.Fatalf("no sampling benefit: consumed %d of 200000", res.Stats.TotalSamples())
+	}
+	if res.Stats.Rounds < 1 {
+		t.Fatal("no stage-2 rounds recorded")
+	}
+}
+
+func TestStage1PrunesRareCandidates(t *testing.T) {
+	pop := makePopulation(t, 5, 150_000, 40, 6, 0.3)
+	s := pop.sampler(t, 6)
+	params := defaultParams()
+	params.Sigma = 0.003
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pruned) == 0 {
+		t.Fatal("no candidates pruned despite a rare tail")
+	}
+	// Precision requirement (Lemma 1): every pruned candidate is truly
+	// rare. (No recall requirement: rare candidates may survive.)
+	for _, i := range res.Pruned {
+		sel := pop.exact[i].Total() / float64(pop.totalN)
+		if sel >= params.Sigma {
+			t.Errorf("pruned candidate %d has selectivity %g ≥ σ %g", i, sel, params.Sigma)
+		}
+	}
+}
+
+func TestSigmaZeroDisablesPruning(t *testing.T) {
+	pop := makePopulation(t, 7, 5000, 10, 5, 0.2)
+	s := pop.sampler(t, 8)
+	params := defaultParams()
+	params.Sigma = 0
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pruned) != 0 {
+		t.Fatalf("σ=0 still pruned %d candidates", len(res.Pruned))
+	}
+}
+
+func TestKLargerThanCandidates(t *testing.T) {
+	pop := makePopulation(t, 9, 4000, 4, 5, 0)
+	s := pop.sampler(t, 10)
+	params := defaultParams()
+	params.K = 10 // more than the 4 candidates
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 4 {
+		t.Fatalf("|M| = %d, want all 4 candidates", len(res.TopK))
+	}
+}
+
+func TestKRangePicksWidestGap(t *testing.T) {
+	pop := makePopulation(t, 11, 80_000, 16, 6, 0)
+	s := pop.sampler(t, 12)
+	params := defaultParams()
+	params.K = 0 // ignored when KRange set
+	params.KRange.KMin = 2
+	params.KRange.KMax = 6
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.TopK); got < 2 || got > 6 {
+		t.Fatalf("KRange produced |M| = %d outside [2,6]", got)
+	}
+	if res.Stats.ChosenK != len(res.TopK) {
+		t.Fatalf("ChosenK %d != |M| %d", res.Stats.ChosenK, len(res.TopK))
+	}
+}
+
+func TestDistinctReconstructionEpsilon(t *testing.T) {
+	pop := makePopulation(t, 13, 100_000, 12, 6, 0)
+	s := pop.sampler(t, 14)
+	params := defaultParams()
+	params.Epsilon = 0.15
+	params.EpsilonReconstruct = 0.05 // tighter reconstruction than separation
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop.checkGuarantees(t, res, params)
+	// Reconstruction sampling must have pushed each member's cumulative
+	// count past the Theorem-1 requirement for ε₂ (unless data exhausted).
+	if !res.Exact {
+		required := histogram.MetricL1.SamplesFor(pop.groups, 0.05, params.Delta/(3*float64(len(res.TopK))))
+		for id, h := range res.Hists {
+			if int(h.Total()) < required {
+				t.Errorf("candidate %d has %d samples, stage 3 requires %d", id, int(h.Total()), required)
+			}
+		}
+	}
+}
+
+func TestL2MetricRun(t *testing.T) {
+	pop := makePopulation(t, 15, 60_000, 10, 6, 0)
+	s := pop.sampler(t, 16)
+	params := defaultParams()
+	params.Metric = histogram.MetricL2
+	params.Epsilon = 0.06
+	res, err := Run(s, pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != params.K {
+		t.Fatalf("|M| = %d", len(res.TopK))
+	}
+	pop.checkGuarantees(t, res, params)
+}
+
+func TestResultHistsMatchTopK(t *testing.T) {
+	pop := makePopulation(t, 17, 30_000, 8, 5, 0)
+	s := pop.sampler(t, 18)
+	res, err := Run(s, pop.targets, defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hists) != len(res.TopK) {
+		t.Fatalf("Hists size %d != TopK size %d", len(res.Hists), len(res.TopK))
+	}
+	for _, rk := range res.TopK {
+		if res.Hists[rk.ID] == nil {
+			t.Errorf("missing histogram for matching candidate %d", rk.ID)
+		}
+	}
+	// TopK is sorted ascending.
+	for i := 1; i < len(res.TopK); i++ {
+		if res.TopK[i].Distance < res.TopK[i-1].Distance {
+			t.Fatal("TopK not sorted by distance")
+		}
+	}
+}
+
+func TestRunStatsAccounting(t *testing.T) {
+	pop := makePopulation(t, 19, 50_000, 10, 6, 0)
+	s := pop.sampler(t, 20)
+	res, err := Run(s, pop.targets, defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.SamplesStage1 <= 0 {
+		t.Error("stage 1 took no samples")
+	}
+	if st.TotalSamples() != st.SamplesStage1+st.SamplesStage2+st.SamplesStage3 {
+		t.Error("TotalSamples inconsistent")
+	}
+	if int(st.TotalSamples()) != s.Consumed() {
+		t.Errorf("stats total %d != sampler consumed %d", st.TotalSamples(), s.Consumed())
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/internal/histogram"
+)
+
+// Property: on data small enough to exhaust, HistSim returns exactly the
+// brute-force top-k over the non-pruned candidates, for random populations
+// and parameters.
+func TestExhaustiveEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, k8, cand8, grp8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCand := int(cand8%8) + 3
+		groups := int(grp8%5) + 2
+		k := int(k8%uint8(nCand)) + 1
+		rows := 1500 + rng.Intn(1500)
+		z := make([]uint32, rows)
+		x := make([]uint32, rows)
+		for i := range z {
+			z[i] = uint32(rng.Intn(nCand))
+			x[i] = uint32(rng.Intn(groups))
+		}
+		shuffleSeed := seed + 1
+		s, err := NewSliceSampler(z, x, nCand, groups, &shuffleSeed)
+		if err != nil {
+			return false
+		}
+		targetCounts := make([]float64, groups)
+		for g := range targetCounts {
+			targetCounts[g] = rng.Float64() + 0.1
+		}
+		target := histogram.FromCounts(targetCounts)
+		params := Params{
+			K: k, Epsilon: 0.02, Delta: 0.01, Sigma: 0,
+			Stage1Samples: 0, Metric: histogram.MetricL1,
+		}
+		res, err := Run(s, target, params)
+		if err != nil {
+			return false
+		}
+		// ε=0.02 on ≤3000 rows forces exhaustion; result must equal the
+		// brute-force answer as a set.
+		if !res.Exact {
+			return false
+		}
+		exact := s.ExactHistograms()
+		dist := make([]float64, nCand)
+		for i, h := range exact {
+			dist[i] = histogram.L1(h, target)
+		}
+		want := histogram.TopK(dist, nil, k)
+		if len(res.TopK) != len(want) {
+			return false
+		}
+		// Compare as multisets of distances (ties may reorder ids).
+		for i := range want {
+			if diff := res.TopK[i].Distance - want[i].Distance; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the matching set size is always min(k, non-pruned candidates),
+// and every pruned candidate is absent from it.
+func TestOutputShapeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		pop := makePopulation(t, seed, 20_000, 12, 5, 0.25)
+		s := pop.sampler(t, seed+1)
+		params := defaultParams()
+		params.K = 4
+		res, err := Run(s, pop.targets, params)
+		if err != nil {
+			return false
+		}
+		pruned := map[int]bool{}
+		for _, id := range res.Pruned {
+			pruned[id] = true
+		}
+		for _, rk := range res.TopK {
+			if pruned[rk.ID] {
+				return false
+			}
+		}
+		wantK := 4
+		if avail := 12 - len(res.Pruned); avail < wantK {
+			wantK = avail
+		}
+		return len(res.TopK) == wantK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stage-3 reconstruction sampling is idempotent in the sense
+// that the returned histograms' totals never decrease relative to the
+// Theorem-1 requirement or the candidate's full population, whichever is
+// smaller.
+func TestStage3SampleFloorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		pop := makePopulation(t, seed, 60_000, 10, 6, 0)
+		s := pop.sampler(t, seed+2)
+		params := defaultParams()
+		res, err := Run(s, pop.targets, params)
+		if err != nil {
+			return false
+		}
+		required := params.Metric.SamplesFor(6, params.Epsilon, params.Delta/(3*float64(len(res.TopK))))
+		for id, h := range res.Hists {
+			full := pop.exact[id].Total()
+			floor := float64(required)
+			if full < floor {
+				floor = full
+			}
+			if h.Total() < floor {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

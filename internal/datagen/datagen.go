@@ -1,0 +1,349 @@
+// Package datagen builds synthetic datasets that reproduce the statistical
+// shape of the paper's FLIGHTS, TAXI, and POLICE datasets (Table 2/3).
+//
+// The real datasets are hundreds of millions of tuples of public records
+// we do not ship; what HistSim's behaviour actually depends on is
+// (a) the candidate attribute's cardinality and selectivity skew,
+// (b) how the per-candidate conditional distributions over the grouping
+// attribute cluster (some candidates nearly match each other, most don't),
+// and (c) the physical layout. The generator reproduces all three with a
+// naive-Bayes mixture model: each tuple draws a latent cluster, then every
+// attribute value is drawn from a per-cluster, per-attribute distribution
+// whose value weights follow a Zipf-like skew perturbed per cluster. Any
+// (Z, X) attribute pair therefore has structured conditionals
+// P(X | Z=z) = Σ_c P(c | z) P(X | c): candidates with similar cluster
+// affinity have similar histograms, giving meaningful top-k sets, while
+// Zipf marginals yield the long tails of rare candidates that stress
+// stage 1 (TAXI has thousands of near-empty locations).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fastmatch/internal/colstore"
+)
+
+// ColumnSpec describes one categorical attribute.
+type ColumnSpec struct {
+	// Name of the column.
+	Name string
+	// Cardinality is the number of distinct values (|V_A|).
+	Cardinality int
+	// Skew is the Zipf exponent of the value-frequency distribution;
+	// 0 gives uniform marginals, 1–2 gives the heavy tails of attributes
+	// like TAXI's Location.
+	Skew float64
+	// ClusterConcentration controls how much per-cluster conditionals
+	// deviate from the marginal: small values (≈0.3) give sharply distinct
+	// clusters, large values (≥10) make every candidate look alike.
+	// Zero selects the default of 1.
+	ClusterConcentration float64
+	// TailFraction, when positive, relegates that fraction of the values
+	// to a rare tail that collectively carries only TailShare of the
+	// probability mass. This reproduces the real TAXI dataset's shape —
+	// thousands of locations with just a handful of tuples — which
+	// stresses stage-1 pruning.
+	TailFraction float64
+	// TailShare is the total mass of the tail (default 0.01 when
+	// TailFraction > 0).
+	TailShare float64
+}
+
+// Spec describes a full synthetic dataset.
+type Spec struct {
+	// Name identifies the dataset in reports.
+	Name string
+	// Rows is the number of tuples to generate.
+	Rows int
+	// Clusters is the number of latent mixture components; zero selects 12.
+	Clusters int
+	// TailClusters reserves that many of the clusters exclusively for
+	// tail values of columns with TailFraction set: rows drawn from a
+	// tail cluster take tail values, rows from head clusters take head
+	// values. This keeps rare candidates' distributions away from the
+	// frequent candidates' similarity clusters — the geometry observed in
+	// the paper's real datasets, where the close matches of a frequent
+	// target are themselves frequent. Zero disables the separation.
+	TailClusters int
+	// TailMass is the total row mass of the tail clusters (default: the
+	// maximum TailShare across columns).
+	TailMass float64
+	// BlockSize is the tuples-per-block layout granularity; zero selects
+	// the colstore default.
+	BlockSize int
+	// Columns lists the attributes.
+	Columns []ColumnSpec
+	// Measures lists numeric measure columns (for SUM queries); values are
+	// drawn log-normally per cluster.
+	Measures []string
+	// Seed drives all randomness; the same spec and seed reproduce the
+	// same dataset bit-for-bit.
+	Seed int64
+	// SkipShuffle leaves tuples in generation (cluster-correlated) order.
+	// The default (false) applies the Challenge-1 random permutation.
+	SkipShuffle bool
+}
+
+// Dataset bundles the generated table with its spec.
+type Dataset struct {
+	Spec  Spec
+	Table *colstore.Table
+}
+
+// Generate builds a dataset from the spec.
+func Generate(spec Spec) (*Dataset, error) {
+	if spec.Rows < 0 {
+		return nil, fmt.Errorf("datagen: negative rows %d", spec.Rows)
+	}
+	if len(spec.Columns) == 0 {
+		return nil, fmt.Errorf("datagen: spec %q has no columns", spec.Name)
+	}
+	clusters := spec.Clusters
+	if clusters <= 0 {
+		clusters = 12
+	}
+	tailClusters := spec.TailClusters
+	if tailClusters < 0 || tailClusters >= clusters {
+		return nil, fmt.Errorf("datagen: tail clusters %d out of range for %d clusters", tailClusters, clusters)
+	}
+	tailMass := spec.TailMass
+	if tailMass <= 0 {
+		for _, cs := range spec.Columns {
+			if cs.TailFraction > 0 && cs.TailShare > tailMass {
+				tailMass = cs.TailShare
+			}
+		}
+		if tailMass == 0 {
+			tailMass = 0.01
+		}
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	builder := colstore.NewBuilder(spec.BlockSize)
+	samplers := make([]*mixtureSampler, len(spec.Columns))
+	for i, cs := range spec.Columns {
+		if cs.Cardinality <= 0 {
+			return nil, fmt.Errorf("datagen: column %q has cardinality %d", cs.Name, cs.Cardinality)
+		}
+		col, err := builder.AddColumn(cs.Name)
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < cs.Cardinality; v++ {
+			col.Dict.Intern(fmt.Sprintf("%s_%d", cs.Name, v))
+		}
+		samplers[i] = newMixtureSampler(rng, cs, clusters, tailClusters)
+	}
+	for _, m := range spec.Measures {
+		if _, err := builder.AddMeasure(m); err != nil {
+			return nil, err
+		}
+	}
+	// Cluster weights: mildly skewed so clusters have unequal mass. When
+	// tail clusters are reserved, they collectively carry tailMass.
+	clusterWeights := dirichlet(rng, clusters, 2.0)
+	if tailClusters > 0 {
+		head := clusterWeights[:clusters-tailClusters]
+		tail := clusterWeights[clusters-tailClusters:]
+		rescale(head, 1-tailMass)
+		rescale(tail, tailMass)
+	}
+	clusterCum := cumulative(clusterWeights)
+
+	builder.Grow(spec.Rows)
+	codes := make([]uint32, len(spec.Columns))
+	measures := make([]float64, len(spec.Measures))
+	// Per-cluster log-normal location for measures.
+	measureMu := make([][]float64, len(spec.Measures))
+	for m := range measureMu {
+		measureMu[m] = make([]float64, clusters)
+		for c := range measureMu[m] {
+			measureMu[m][c] = rng.Float64() * 3
+		}
+	}
+	for r := 0; r < spec.Rows; r++ {
+		c := sampleCumulative(clusterCum, rng.Float64())
+		for i, s := range samplers {
+			codes[i] = s.sample(c, rng)
+		}
+		for m := range measures {
+			measures[m] = math.Exp(measureMu[m][c] + rng.NormFloat64()*0.5)
+		}
+		if err := builder.AppendCodes(codes, measures); err != nil {
+			return nil, err
+		}
+	}
+	if !spec.SkipShuffle {
+		builder.Shuffle(spec.Seed + 1)
+	}
+	return &Dataset{Spec: spec, Table: builder.Build()}, nil
+}
+
+// mixtureSampler draws values for one column conditioned on the latent
+// cluster, via per-cluster cumulative distributions.
+type mixtureSampler struct {
+	perClusterCum [][]float64
+}
+
+func newMixtureSampler(rng *rand.Rand, cs ColumnSpec, clusters, tailClusters int) *mixtureSampler {
+	conc := cs.ClusterConcentration
+	if conc <= 0 {
+		conc = 1
+	}
+	base := make([]float64, cs.Cardinality)
+	isTail := make([]bool, cs.Cardinality)
+	headCount := cs.Cardinality
+	if cs.TailFraction > 0 && cs.TailFraction < 1 {
+		headCount = cs.Cardinality - int(cs.TailFraction*float64(cs.Cardinality))
+		if headCount < 1 {
+			headCount = 1
+		}
+	}
+	var headTotal float64
+	for v := 0; v < headCount; v++ {
+		base[v] = 1 / math.Pow(float64(v+1), cs.Skew)
+		headTotal += base[v]
+	}
+	if headCount < cs.Cardinality {
+		tailShare := cs.TailShare
+		if tailShare <= 0 || tailShare >= 1 {
+			tailShare = 0.01
+		}
+		// Scale head to (1−tailShare), spread tailShare uniformly over
+		// the tail values.
+		headScale := (1 - tailShare) / headTotal
+		for v := 0; v < headCount; v++ {
+			base[v] *= headScale
+		}
+		perTail := tailShare / float64(cs.Cardinality-headCount)
+		for v := headCount; v < cs.Cardinality; v++ {
+			base[v] = perTail
+			isTail[v] = true
+		}
+	}
+	// Shuffle the weights across value IDs so value ID order carries no
+	// significance (dictionary code 0 is not always the most common).
+	rng.Shuffle(len(base), func(i, j int) {
+		base[i], base[j] = base[j], base[i]
+		isTail[i], isTail[j] = isTail[j], isTail[i]
+	})
+	separate := tailClusters > 0 && headCount < cs.Cardinality
+	headClusters := clusters - tailClusters
+	ms := &mixtureSampler{perClusterCum: make([][]float64, clusters)}
+	for c := 0; c < clusters; c++ {
+		w := make([]float64, cs.Cardinality)
+		for v := range w {
+			if separate {
+				// Head clusters emit only head values; tail clusters only
+				// tail values.
+				if isTail[v] != (c >= headClusters) {
+					continue
+				}
+			}
+			w[v] = base[v] * gamma(rng, conc)
+		}
+		ms.perClusterCum[c] = cumulative(w)
+	}
+	return ms
+}
+
+// rescale scales w in place so it sums to total.
+func rescale(w []float64, total float64) {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range w {
+			w[i] = total / float64(len(w))
+		}
+		return
+	}
+	f := total / sum
+	for i := range w {
+		w[i] *= f
+	}
+}
+
+func (ms *mixtureSampler) sample(cluster int, rng *rand.Rand) uint32 {
+	return uint32(sampleCumulative(ms.perClusterCum[cluster], rng.Float64()))
+}
+
+// dirichlet draws a Dirichlet(alpha, ..., alpha) sample of dimension n via
+// normalized Gamma draws.
+func dirichlet(rng *rand.Rand, n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = gamma(rng, alpha)
+	}
+	return w
+}
+
+// gamma draws from Gamma(shape, 1) using the Marsaglia–Tsang method, with
+// the shape<1 boost. Stdlib has no gamma sampler, so this is part of the
+// statistics substrate we build ourselves.
+func gamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: G(a) = G(a+1) * U^{1/a}.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// cumulative converts weights to a normalized cumulative distribution.
+func cumulative(w []float64) []float64 {
+	cum := make([]float64, len(w))
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		// Degenerate input: fall back to uniform.
+		for i := range cum {
+			cum[i] = float64(i+1) / float64(len(w))
+		}
+		return cum
+	}
+	var run float64
+	for i, v := range w {
+		run += v / total
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1
+	return cum
+}
+
+// sampleCumulative inverts a cumulative distribution at probability u.
+func sampleCumulative(cum []float64, u float64) int {
+	i := sort.SearchFloat64s(cum, u)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}

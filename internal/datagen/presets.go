@@ -1,0 +1,104 @@
+package datagen
+
+import "fmt"
+
+// Preset specs mirroring Table 2/3 of the paper. Cardinalities match the
+// paper exactly; row counts are scaled from hundreds of millions to
+// laptop-friendly defaults (the `rows` argument) while preserving the
+// selectivity skew that drives stage-1 pruning behaviour.
+
+// Flights builds a FLIGHTS-shaped dataset: 7 attributes including
+// Origin (347), Dest (351), DepartureHour (24), DayOfWeek (7),
+// DayOfMonth (31).
+func Flights(rows int, seed int64, blockSize int) (*Dataset, error) {
+	// Candidate attributes (Origin, Dest) get a small ClusterConcentration
+	// so each value's cluster posterior is nearly one-hot: candidates form
+	// tight similarity clusters with wide inter-cluster gaps, the geometry
+	// that lets HistSim's split point land in a gap and terminate from a
+	// modest sample (the behaviour the paper reports on real data).
+	return Generate(Spec{
+		Name:      "flights",
+		Rows:      rows,
+		Clusters:  28,
+		BlockSize: blockSize,
+		Seed:      seed,
+		Columns: []ColumnSpec{
+			{Name: "Origin", Cardinality: 347, Skew: 0.8, ClusterConcentration: 0.12},
+			{Name: "Dest", Cardinality: 351, Skew: 0.8, ClusterConcentration: 0.12},
+			{Name: "DepartureHour", Cardinality: 24, Skew: 0.3, ClusterConcentration: 0.5},
+			{Name: "DayOfWeek", Cardinality: 7, Skew: 0.1, ClusterConcentration: 0.5},
+			{Name: "DayOfMonth", Cardinality: 31, Skew: 0.05, ClusterConcentration: 1.5},
+			{Name: "DepDelayBin", Cardinality: 12, Skew: 0.8, ClusterConcentration: 1},
+			{Name: "ArrDelayBin", Cardinality: 12, Skew: 0.8, ClusterConcentration: 1},
+		},
+	})
+}
+
+// Taxi builds a TAXI-shaped dataset. Location has the paper's 7641
+// candidates with a strong Zipf skew so thousands of locations get only a
+// handful of tuples — the stage-1 stress test called out in §5.1.
+func Taxi(rows int, seed int64, blockSize int) (*Dataset, error) {
+	return Generate(Spec{
+		Name:         "taxi",
+		Rows:         rows,
+		Clusters:     36,
+		TailClusters: 6,
+		BlockSize:    blockSize,
+		Seed:         seed,
+		Columns: []ColumnSpec{
+			// ~600 "real" locations share 98% of trips with mild skew; the
+			// other ~7000 collectively get 2% — reproducing the paper's
+			// ">3000 locations with fewer than 10 datapoints".
+			{Name: "Location", Cardinality: 7641, Skew: 0.35, ClusterConcentration: 0.12,
+				TailFraction: 0.92, TailShare: 0.02},
+			{Name: "HourOfDay", Cardinality: 24, Skew: 0.3, ClusterConcentration: 0.5},
+			{Name: "MonthOfYear", Cardinality: 12, Skew: 0.1, ClusterConcentration: 0.5},
+			{Name: "DayOfWeek", Cardinality: 7, Skew: 0.1, ClusterConcentration: 1},
+			{Name: "PassengerCount", Cardinality: 9, Skew: 1.2, ClusterConcentration: 1.5},
+			{Name: "PassengerBin", Cardinality: 4, Skew: 0.6, ClusterConcentration: 1.5},
+			{Name: "TripTimeBin", Cardinality: 16, Skew: 0.5, ClusterConcentration: 1},
+		},
+		Measures: []string{"Fare"},
+	})
+}
+
+// Police builds a POLICE-shaped dataset with 10 attributes, including the
+// high-cardinality Violation (2110) candidate attribute of POLICE-q3 and
+// the binary grouping attributes (ContrabandFound, DriverGender) of q1/q3.
+func Police(rows int, seed int64, blockSize int) (*Dataset, error) {
+	return Generate(Spec{
+		Name:         "police",
+		Rows:         rows,
+		Clusters:     20,
+		TailClusters: 4,
+		BlockSize:    blockSize,
+		Seed:         seed,
+		Columns: []ColumnSpec{
+			{Name: "RoadID", Cardinality: 210, Skew: 0.5, ClusterConcentration: 0.12},
+			{Name: "Violation", Cardinality: 2110, Skew: 0.4, ClusterConcentration: 0.12,
+				TailFraction: 0.75, TailShare: 0.03},
+			{Name: "County", Cardinality: 39, Skew: 0.8, ClusterConcentration: 1},
+			{Name: "ContrabandFound", Cardinality: 2, Skew: 0.9, ClusterConcentration: 0.4},
+			{Name: "OfficerRace", Cardinality: 5, Skew: 0.7, ClusterConcentration: 0.4},
+			{Name: "OfficerGender", Cardinality: 2, Skew: 0.5, ClusterConcentration: 1},
+			{Name: "DriverRace", Cardinality: 5, Skew: 0.7, ClusterConcentration: 0.8},
+			{Name: "DriverGender", Cardinality: 2, Skew: 0.3, ClusterConcentration: 0.4},
+			{Name: "ViolationType", Cardinality: 12, Skew: 0.8, ClusterConcentration: 1},
+			{Name: "StopOutcome", Cardinality: 6, Skew: 0.9, ClusterConcentration: 1},
+		},
+	})
+}
+
+// ByName returns the preset generator for a dataset name ("flights",
+// "taxi", or "police").
+func ByName(name string, rows int, seed int64, blockSize int) (*Dataset, error) {
+	switch name {
+	case "flights":
+		return Flights(rows, seed, blockSize)
+	case "taxi":
+		return Taxi(rows, seed, blockSize)
+	case "police":
+		return Police(rows, seed, blockSize)
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q (want flights, taxi, or police)", name)
+}

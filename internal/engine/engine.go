@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fastmatch/internal/bitmap"
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/core"
+	"fastmatch/internal/histogram"
+)
+
+// Query is a histogram-generating query template (Definition 1): candidate
+// attribute Z, grouping attribute(s) X, and optional extensions.
+type Query struct {
+	// Z names the candidate attribute; one candidate per distinct value.
+	// Ignored when CandidatePreds is set.
+	Z string
+	// KnownCandidates, when non-empty, restricts the candidate domain to
+	// these values and adds a dummy candidate absorbing all others
+	// (Appendix A.1.5).
+	KnownCandidates []string
+	// CandidatePreds defines candidates as boolean predicates over
+	// attribute values instead of the Z column (Appendix A.1.2).
+	CandidatePreds []bitmap.Predicate
+	// X names the grouping attribute(s); more than one gives composite
+	// groups over the cross product (Appendix A.1.3). Ignored when
+	// XMeasure is set.
+	X []string
+	// XMeasure and XBins group by binning a continuous measure column
+	// (Appendix A.1.4).
+	XMeasure string
+	XBins    *colstore.Binner
+	// Measure, when set, answers SUM(Measure) instead of COUNT(*) via the
+	// measure-biased view (Appendix A.1.1); see MeasureBiasedView.
+	Measure string
+	// Filter, when set, restricts the relation to rows where it returns
+	// true (WHERE predicates beyond the candidate equality).
+	Filter func(row int) bool
+}
+
+// Target specifies the visual target q.
+type Target struct {
+	// Counts is an explicit target histogram (takes precedence).
+	Counts []float64
+	// Candidate names a candidate value whose exact histogram is the
+	// target (e.g. "Greece"); resolved by a full scan of that candidate.
+	Candidate string
+	// Uniform targets the uniform distribution (used by most Table 3
+	// queries: "closest candidate to uniform").
+	Uniform bool
+}
+
+// Options configures a run.
+type Options struct {
+	// Params are HistSim's knobs (k, ε, δ, σ, m, metric, …).
+	Params core.Params
+	// Executor selects Scan / ScanMatch / SyncMatch / FastMatch.
+	Executor Executor
+	// Lookahead is the FastMatch marking window in blocks (default 1024).
+	Lookahead int
+	// StartBlock is the scan start position; negative picks one at random
+	// from Seed (the paper starts each run at a random position).
+	StartBlock int
+	// Seed drives the random start position.
+	Seed int64
+}
+
+// Result is a complete query answer.
+type Result struct {
+	// TopK lists matching candidates closest-first.
+	TopK []Match
+	// Pruned lists stage-1-pruned candidate labels.
+	Pruned []string
+	// Exact reports a full-data answer.
+	Exact bool
+	// Stats carries HistSim diagnostics (zero-valued for Scan).
+	Stats core.RunStats
+	// IO carries block-level I/O counters.
+	IO IOStats
+	// Duration is the wall-clock time of the run (excluding target
+	// resolution and index construction).
+	Duration time.Duration
+	// GroupLabels names the histogram groups, aligned with Histogram
+	// vector indices.
+	GroupLabels []string
+}
+
+// Match pairs a candidate with its distance and reconstructed histogram.
+type Match struct {
+	// ID is the internal candidate id.
+	ID int
+	// Label is the candidate's attribute value (or predicate string).
+	Label string
+	// Distance is the estimated distance to the target.
+	Distance float64
+	// Histogram is the reconstructed (approximate or exact) histogram.
+	Histogram *histogram.Histogram
+}
+
+// Engine answers top-k histogram matching queries over one table. It
+// caches bitmap indexes and density maps per column. An Engine is safe for
+// sequential reuse across queries; concurrent runs need separate Engines
+// (each run maintains scan-position state).
+type Engine struct {
+	tbl     *colstore.Table
+	indexes map[string]*bitmap.Index
+	density map[string]*bitmap.DensityMap
+}
+
+// New creates an engine over a table.
+func New(tbl *colstore.Table) *Engine {
+	return &Engine{
+		tbl:     tbl,
+		indexes: make(map[string]*bitmap.Index),
+		density: make(map[string]*bitmap.DensityMap),
+	}
+}
+
+// Table returns the underlying table.
+func (e *Engine) Table() *colstore.Table { return e.tbl }
+
+// Index returns (building if needed) the bitmap index for a column.
+func (e *Engine) Index(column string) (*bitmap.Index, error) {
+	if idx, ok := e.indexes[column]; ok {
+		return idx, nil
+	}
+	idx, err := bitmap.Build(e.tbl, column)
+	if err != nil {
+		return nil, err
+	}
+	e.indexes[column] = idx
+	return idx, nil
+}
+
+// Density returns (building if needed) the density map for a column.
+func (e *Engine) Density(column string) (*bitmap.DensityMap, error) {
+	if dm, ok := e.density[column]; ok {
+		return dm, nil
+	}
+	dm, err := bitmap.BuildDensity(e.tbl, column)
+	if err != nil {
+		return nil, err
+	}
+	e.density[column] = dm
+	return dm, nil
+}
+
+// plan resolves a query into mappers.
+func (e *Engine) plan(q Query) (candidateMapper, groupMapper, error) {
+	grp, err := e.planGroups(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(q.CandidatePreds) > 0 {
+		pc, err := newPredicateCandidates(e.tbl, q.CandidatePreds, e.density)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pc, grp, nil
+	}
+	if q.Z == "" {
+		return nil, nil, fmt.Errorf("engine: query needs Z or CandidatePreds")
+	}
+	col, err := e.tbl.Column(q.Z)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err := e.Index(q.Z)
+	if err != nil {
+		return nil, nil, err
+	}
+	cc, err := newColumnCandidates(col, idx, q.KnownCandidates)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cc, grp, nil
+}
+
+func (e *Engine) planGroups(q Query) (groupMapper, error) {
+	if q.XMeasure != "" {
+		if q.XBins == nil {
+			return nil, fmt.Errorf("engine: XMeasure %q needs XBins", q.XMeasure)
+		}
+		m, err := e.tbl.Measure(q.XMeasure)
+		if err != nil {
+			return nil, err
+		}
+		return binnedGroups{m: m, binner: q.XBins}, nil
+	}
+	if len(q.X) == 0 {
+		return nil, fmt.Errorf("engine: query needs X or XMeasure")
+	}
+	if len(q.X) == 1 {
+		col, err := e.tbl.Column(q.X[0])
+		if err != nil {
+			return nil, err
+		}
+		return singleGroups{col: col}, nil
+	}
+	cols := make([]*colstore.Column, len(q.X))
+	for i, name := range q.X {
+		col, err := e.tbl.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return newMultiGroups(cols)
+}
+
+// ResolveTarget materializes the target histogram for a query. Candidate
+// targets are resolved with an exact scan restricted (via the bitmap
+// index) to the blocks containing the candidate.
+func (e *Engine) ResolveTarget(q Query, t Target) (*histogram.Histogram, error) {
+	cand, grp, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(t.Counts) > 0:
+		if len(t.Counts) != grp.groups() {
+			return nil, fmt.Errorf("engine: target has %d groups, query produces %d", len(t.Counts), grp.groups())
+		}
+		return histogram.FromCounts(t.Counts), nil
+	case t.Uniform:
+		counts := make([]float64, grp.groups())
+		for i := range counts {
+			counts[i] = 1
+		}
+		return histogram.FromCounts(counts), nil
+	case t.Candidate != "":
+		id := -1
+		for i := 0; i < cand.numCandidates(); i++ {
+			if cand.labelOf(i) == t.Candidate {
+				id = i
+				break
+			}
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("engine: target candidate %q not found", t.Candidate)
+		}
+		h := histogram.New(grp.groups())
+		blocks := cand.candidateBlocks(id)
+		for b := 0; b < e.tbl.NumBlocks(); b++ {
+			if blocks != nil && !blocks.Get(b) {
+				continue
+			}
+			lo, hi := e.tbl.BlockSpan(b)
+			for row := lo; row < hi; row++ {
+				if q.Filter != nil && !q.Filter(row) {
+					continue
+				}
+				if cand.candidateOf(row) != id {
+					continue
+				}
+				if g := grp.groupOf(row); g >= 0 {
+					h.Add(g)
+				}
+			}
+		}
+		return h, nil
+	default:
+		return nil, fmt.Errorf("engine: empty target specification")
+	}
+}
+
+// Run answers the query with the configured executor. The target is
+// resolved before timing starts, matching the paper's measurement of query
+// execution only.
+func (e *Engine) Run(q Query, t Target, opts Options) (*Result, error) {
+	if q.Measure != "" {
+		return nil, fmt.Errorf("engine: SUM queries run over a MeasureBiasedView table; build one with MeasureBiasedView and query it with COUNT semantics")
+	}
+	target, err := e.ResolveTarget(q, t)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunWithTarget(q, target, opts)
+}
+
+// RunWithTarget answers the query against a pre-resolved target histogram.
+func (e *Engine) RunWithTarget(q Query, target *histogram.Histogram, opts Options) (*Result, error) {
+	cand, grp, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	if target.Groups() != grp.groups() {
+		return nil, fmt.Errorf("engine: target has %d groups, query produces %d", target.Groups(), grp.groups())
+	}
+	start := opts.StartBlock
+	if start < 0 {
+		nb := e.tbl.NumBlocks()
+		if nb > 0 {
+			start = rand.New(rand.NewSource(opts.Seed)).Intn(nb)
+		} else {
+			start = 0
+		}
+	}
+	began := time.Now()
+	if opts.Executor == Scan {
+		res, err := e.runScan(q, cand, grp, target, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		res.Duration = time.Since(began)
+		res.GroupLabels = groupLabels(grp)
+		return res, nil
+	}
+	bs := newBlockSampler(e.tbl, cand, grp, q.Filter, opts.Executor, opts.Lookahead, start)
+	coreRes, err := core.Run(bs, target, opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Exact:       coreRes.Exact,
+		Stats:       coreRes.Stats,
+		IO:          bs.Stats(),
+		Duration:    time.Since(began),
+		GroupLabels: groupLabels(grp),
+	}
+	for _, rk := range coreRes.TopK {
+		res.TopK = append(res.TopK, Match{
+			ID:        rk.ID,
+			Label:     cand.labelOf(rk.ID),
+			Distance:  rk.Distance,
+			Histogram: coreRes.Hists[rk.ID],
+		})
+	}
+	for _, id := range coreRes.Pruned {
+		res.Pruned = append(res.Pruned, cand.labelOf(id))
+	}
+	return res, nil
+}
+
+// runScan is the exact baseline: one full pass computing every candidate
+// histogram, exact σ pruning, exact top-k.
+func (e *Engine) runScan(q Query, cand candidateMapper, grp groupMapper,
+	target *histogram.Histogram, params core.Params) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := cand.numCandidates()
+	hists := make([]*histogram.Histogram, n)
+	for i := range hists {
+		hists[i] = histogram.New(grp.groups())
+	}
+	var multi *predicateCandidates
+	if pc, ok := cand.(*predicateCandidates); ok {
+		multi = pc
+	}
+	var io IOStats
+	var multiBuf []int
+	totalRows := 0
+	for b := 0; b < e.tbl.NumBlocks(); b++ {
+		lo, hi := e.tbl.BlockSpan(b)
+		io.BlocksRead++
+		for row := lo; row < hi; row++ {
+			io.TuplesRead++
+			totalRows++
+			if q.Filter != nil && !q.Filter(row) {
+				continue
+			}
+			g := grp.groupOf(row)
+			if g < 0 {
+				continue
+			}
+			if multi != nil {
+				multiBuf = multi.candidatesOf(row, multiBuf[:0])
+				for _, id := range multiBuf {
+					hists[id].Add(g)
+				}
+				continue
+			}
+			if id := cand.candidateOf(row); id >= 0 {
+				hists[id].Add(g)
+			}
+		}
+	}
+	res := &Result{Exact: true, IO: io}
+	dist := make([]float64, n)
+	var keep []int
+	for i := range hists {
+		sel := hists[i].Total() / float64(totalRows)
+		if params.Sigma > 0 && sel < params.Sigma {
+			res.Pruned = append(res.Pruned, cand.labelOf(i))
+			continue
+		}
+		dist[i] = params.Metric.Distance(hists[i], target)
+		keep = append(keep, i)
+	}
+	k := params.K
+	if params.KRange.KMax > 0 {
+		k = params.KRange.KMax
+		if k > len(keep) && params.KRange.KMin <= len(keep) {
+			k = len(keep)
+		}
+	}
+	for _, rk := range histogram.TopK(dist, keep, k) {
+		res.TopK = append(res.TopK, Match{
+			ID:        rk.ID,
+			Label:     cand.labelOf(rk.ID),
+			Distance:  rk.Distance,
+			Histogram: hists[rk.ID].Clone(),
+		})
+	}
+	res.Stats.ChosenK = len(res.TopK)
+	res.Stats.PrunedCandidates = len(res.Pruned)
+	return res, nil
+}
+
+func groupLabels(grp groupMapper) []string {
+	out := make([]string, grp.groups())
+	for g := range out {
+		out[g] = grp.labelOf(g)
+	}
+	return out
+}

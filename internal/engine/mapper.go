@@ -1,0 +1,384 @@
+// Package engine implements the FastMatch system of Section 4: the I/O
+// manager, sampling engine, and statistics engine wired around the
+// internal/core HistSim algorithm, with the AnyActive block-selection
+// policy, asynchronous lookahead marking, and the Scan / ScanMatch /
+// SyncMatch / FastMatch executor variants compared in the evaluation.
+package engine
+
+import (
+	"fmt"
+
+	"fastmatch/internal/bitmap"
+	"fastmatch/internal/colstore"
+)
+
+// groupMapper maps a row to its histogram group code, or -1 when the row
+// contributes to no group (e.g. a continuous value outside the bin range).
+type groupMapper interface {
+	groups() int
+	groupOf(row int) int
+	// labelOf renders a human-readable group label.
+	labelOf(g int) string
+}
+
+// singleGroups maps groups from one categorical column.
+type singleGroups struct{ col *colstore.Column }
+
+func (s singleGroups) groups() int          { return s.col.Cardinality() }
+func (s singleGroups) groupOf(row int) int  { return int(s.col.Code(row)) }
+func (s singleGroups) labelOf(g int) string { return s.col.Dict.Value(uint32(g)) }
+
+// multiGroups maps groups from the cross product of several categorical
+// columns (Appendix A.1.3). The support is estimated as the product of the
+// columns' cardinalities; overestimation only loosens the Theorem-1 bound,
+// which stays correct.
+type multiGroups struct {
+	cols    []*colstore.Column
+	strides []int
+	total   int
+}
+
+func newMultiGroups(cols []*colstore.Column) (*multiGroups, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: no grouping columns")
+	}
+	mg := &multiGroups{cols: cols, strides: make([]int, len(cols)), total: 1}
+	for i := len(cols) - 1; i >= 0; i-- {
+		mg.strides[i] = mg.total
+		mg.total *= cols[i].Cardinality()
+		if mg.total <= 0 || mg.total > 1<<24 {
+			return nil, fmt.Errorf("engine: composite group support too large")
+		}
+	}
+	return mg, nil
+}
+
+func (m *multiGroups) groups() int { return m.total }
+
+func (m *multiGroups) groupOf(row int) int {
+	g := 0
+	for i, c := range m.cols {
+		g += int(c.Code(row)) * m.strides[i]
+	}
+	return g
+}
+
+func (m *multiGroups) labelOf(g int) string {
+	label := ""
+	for i, c := range m.cols {
+		code := uint32(g / m.strides[i] % c.Cardinality())
+		if i > 0 {
+			label += "|"
+		}
+		label += c.Dict.Value(code)
+	}
+	return label
+}
+
+// binnedGroups maps groups by binning a continuous measure column
+// (Appendix A.1.4). Rows outside the bin range are dropped, mirroring the
+// paper's preprocessing of outlier values.
+type binnedGroups struct {
+	m      *colstore.MeasureColumn
+	binner *colstore.Binner
+}
+
+func (b binnedGroups) groups() int { return b.binner.NumBins() }
+
+func (b binnedGroups) groupOf(row int) int {
+	bin, ok := b.binner.Bin(b.m.Value(row))
+	if !ok {
+		return -1
+	}
+	return bin
+}
+
+func (b binnedGroups) labelOf(g int) string { return b.binner.Label(g) }
+
+// candidateMapper maps rows to candidate ids and answers block-level
+// containment questions for AnyActive selection.
+type candidateMapper interface {
+	numCandidates() int
+	candidateOf(row int) int // -1 = row matches no candidate
+	// markAnyActive marks mark[i] = true iff block start+i may contain a
+	// tuple for an active candidate (sound: never misses a block that
+	// does). Implements Algorithm 3's chunked evaluation where possible.
+	markAnyActive(active []int, start int, mark []bool)
+	// blockAnyActive is the naive single-block probe of Algorithm 2.
+	blockAnyActive(active []int, b int) bool
+	// candidateBlocks returns the bitset of blocks containing candidate i.
+	candidateBlocks(i int) *bitmap.Bitset
+	labelOf(i int) string
+}
+
+// columnCandidates derives candidates from the distinct values of one
+// categorical column, backed by a bitmap.Index. An optional dummy
+// candidate absorbs every value outside a known subset, implementing the
+// unknown-candidate-domain extension of Appendix A.1.5.
+type columnCandidates struct {
+	col   *colstore.Column
+	idx   *bitmap.Index
+	remap []int // value code -> candidate id (identity when dummy unused)
+	// candValue[i] = value code for candidate i; -1 for the dummy.
+	candValue []int
+	dummyID   int // -1 when absent
+	dummyBits *bitmap.Bitset
+	buf       []uint32 // scratch for translating active ids to value codes
+}
+
+func newColumnCandidates(col *colstore.Column, idx *bitmap.Index, known []string) (*columnCandidates, error) {
+	card := col.Cardinality()
+	cc := &columnCandidates{col: col, idx: idx, dummyID: -1}
+	if len(known) == 0 {
+		cc.remap = nil // identity
+		cc.candValue = make([]int, card)
+		for v := range cc.candValue {
+			cc.candValue[v] = v
+		}
+		return cc, nil
+	}
+	cc.remap = make([]int, card)
+	for v := range cc.remap {
+		cc.remap[v] = -2 // unassigned
+	}
+	for i, name := range known {
+		code, ok := col.Dict.Code(name)
+		if !ok {
+			return nil, fmt.Errorf("engine: known candidate %q not in column %q", name, col.Name)
+		}
+		if cc.remap[code] != -2 {
+			return nil, fmt.Errorf("engine: duplicate known candidate %q", name)
+		}
+		cc.remap[code] = i
+		cc.candValue = append(cc.candValue, int(code))
+	}
+	cc.dummyID = len(known)
+	cc.candValue = append(cc.candValue, -1)
+	cc.dummyBits = bitmap.NewBitset(idx.NumBlocks())
+	for v := 0; v < card; v++ {
+		if cc.remap[v] == -2 {
+			cc.remap[v] = cc.dummyID
+			vb, err := idx.ValueBitset(uint32(v))
+			if err != nil {
+				return nil, err
+			}
+			if err := cc.dummyBits.Or(vb); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cc, nil
+}
+
+func (cc *columnCandidates) numCandidates() int { return len(cc.candValue) }
+
+func (cc *columnCandidates) candidateOf(row int) int {
+	code := cc.col.Code(row)
+	if cc.remap == nil {
+		return int(code)
+	}
+	return cc.remap[code]
+}
+
+// activeValues translates candidate ids to value codes, separating out the
+// dummy (which has no single value bitmap).
+func (cc *columnCandidates) activeValues(active []int) (values []uint32, dummyActive bool) {
+	cc.buf = cc.buf[:0]
+	for _, id := range active {
+		if id == cc.dummyID {
+			dummyActive = true
+			continue
+		}
+		cc.buf = append(cc.buf, uint32(cc.candValue[id]))
+	}
+	return cc.buf, dummyActive
+}
+
+func (cc *columnCandidates) markAnyActive(active []int, start int, mark []bool) {
+	values, dummyActive := cc.activeValues(active)
+	cc.idx.MarkAnyActive(values, start, mark)
+	if dummyActive && cc.dummyBits != nil {
+		for i := range mark {
+			b := start + i
+			if !mark[i] && b < cc.dummyBits.Len() && cc.dummyBits.Get(b) {
+				mark[i] = true
+			}
+		}
+	}
+}
+
+func (cc *columnCandidates) blockAnyActive(active []int, b int) bool {
+	for _, id := range active {
+		if id == cc.dummyID {
+			if cc.dummyBits != nil && cc.dummyBits.Get(b) {
+				return true
+			}
+			continue
+		}
+		if cc.idx.Contains(uint32(cc.candValue[id]), b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (cc *columnCandidates) candidateBlocks(i int) *bitmap.Bitset {
+	if i == cc.dummyID {
+		return cc.dummyBits
+	}
+	bs, err := cc.idx.ValueBitset(uint32(cc.candValue[i]))
+	if err != nil {
+		panic(fmt.Sprintf("engine: candidateBlocks(%d): %v", i, err))
+	}
+	return bs
+}
+
+func (cc *columnCandidates) labelOf(i int) string {
+	if i == cc.dummyID {
+		return "<other>"
+	}
+	return cc.col.Dict.Value(uint32(cc.candValue[i]))
+}
+
+// predicateCandidates derives candidates from boolean predicates over
+// attribute values (Appendix A.1.2), using density maps for block
+// estimates. A row belongs to every predicate it satisfies; HistSim's
+// Holm–Bonferroni machinery is agnostic to the induced dependence.
+// Because a row may match several predicates, candidateOf is replaced by
+// candidatesOf; the sampler handles the multi-membership.
+type predicateCandidates struct {
+	preds    []bitmap.Predicate
+	matchers []func(row int) bool
+	blocks   []*bitmap.Bitset // per candidate: blocks that may contain it
+	labels   []string
+}
+
+func newPredicateCandidates(tbl *colstore.Table, preds []bitmap.Predicate, dms map[string]*bitmap.DensityMap) (*predicateCandidates, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("engine: no candidate predicates")
+	}
+	pc := &predicateCandidates{preds: preds}
+	nb := tbl.NumBlocks()
+	for _, p := range preds {
+		m, err := compilePredicate(tbl, p)
+		if err != nil {
+			return nil, err
+		}
+		pc.matchers = append(pc.matchers, m)
+		bs := bitmap.NewBitset(nb)
+		for b := 0; b < nb; b++ {
+			if p.EstimateBlock(b) > 0 {
+				bs.Set(b)
+			}
+		}
+		pc.blocks = append(pc.blocks, bs)
+		pc.labels = append(pc.labels, p.String())
+	}
+	_ = dms // density maps are embedded in the predicates themselves
+	return pc, nil
+}
+
+// compilePredicate turns a bitmap.Predicate into a direct row matcher
+// against table columns, avoiding per-row map allocation.
+func compilePredicate(tbl *colstore.Table, p bitmap.Predicate) (func(row int) bool, error) {
+	switch q := p.(type) {
+	case *bitmap.ValuePred:
+		col, err := tbl.Column(q.Column)
+		if err != nil {
+			return nil, err
+		}
+		code := q.Code
+		return func(row int) bool { return col.Code(row) == code }, nil
+	case *bitmap.AndPred:
+		kids, err := compileAll(tbl, q.Children)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) bool {
+			for _, k := range kids {
+				if !k(row) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case *bitmap.OrPred:
+		kids, err := compileAll(tbl, q.Children)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) bool {
+			for _, k := range kids {
+				if k(row) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported predicate type %T", p)
+	}
+}
+
+func compileAll(tbl *colstore.Table, ps []bitmap.Predicate) ([]func(row int) bool, error) {
+	out := make([]func(row int) bool, len(ps))
+	for i, p := range ps {
+		m, err := compilePredicate(tbl, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+func (pc *predicateCandidates) numCandidates() int { return len(pc.preds) }
+
+// candidateOf returns the first matching predicate for single-membership
+// uses; candidatesOf (below) reports all matches.
+func (pc *predicateCandidates) candidateOf(row int) int {
+	for i, m := range pc.matchers {
+		if m(row) {
+			return i
+		}
+	}
+	return -1
+}
+
+// candidatesOf appends all matching candidate ids to dst.
+func (pc *predicateCandidates) candidatesOf(row int, dst []int) []int {
+	for i, m := range pc.matchers {
+		if m(row) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+func (pc *predicateCandidates) markAnyActive(active []int, start int, mark []bool) {
+	for i := range mark {
+		mark[i] = false
+	}
+	for _, id := range active {
+		bs := pc.blocks[id]
+		for i := range mark {
+			b := start + i
+			if !mark[i] && b < bs.Len() && bs.Get(b) {
+				mark[i] = true
+			}
+		}
+	}
+}
+
+func (pc *predicateCandidates) blockAnyActive(active []int, b int) bool {
+	for _, id := range active {
+		if b < pc.blocks[id].Len() && pc.blocks[id].Get(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (pc *predicateCandidates) candidateBlocks(i int) *bitmap.Bitset { return pc.blocks[i] }
+
+func (pc *predicateCandidates) labelOf(i int) string { return pc.labels[i] }

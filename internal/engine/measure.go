@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastmatch/internal/colstore"
+)
+
+// MeasureBiasedView implements the measure-biased sampling preprocessing
+// of Appendix A.1.1 (after Sample+Seek): it materializes a derived table
+// in which each source tuple appears with multiplicity proportional to its
+// measure value, so that COUNT(*) histograms over the view estimate
+// SUM(measure) histograms over the source with the same distributional
+// guarantees.
+//
+// targetRows controls the view's size; the expected multiplicity of tuple
+// t is targetRows · y_t / Σy. Multiplicities are realized as
+// ⌊expected⌋ plus a Bernoulli remainder, then the view is shuffled so
+// sequential scans remain uniform samples. One view is needed per measure
+// attribute of interest, costing one extra pass over the data each —
+// exactly the preprocessing cost the paper describes.
+func MeasureBiasedView(tbl *colstore.Table, measure string, targetRows int, seed int64) (*colstore.Table, error) {
+	if targetRows <= 0 {
+		return nil, fmt.Errorf("engine: targetRows must be positive, got %d", targetRows)
+	}
+	m, err := tbl.Measure(measure)
+	if err != nil {
+		return nil, err
+	}
+	var total float64
+	for i := 0; i < tbl.NumRows(); i++ {
+		total += m.Value(i)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("engine: measure %q sums to %g; cannot bias", measure, total)
+	}
+	cols := tbl.Columns()
+	out := colstore.NewBuilder(tbl.BlockSize())
+	srcCols := make([]*colstore.Column, len(cols))
+	dstCols := make([]*colstore.Column, len(cols))
+	for i, name := range cols {
+		src, err := tbl.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := out.AddColumn(name)
+		if err != nil {
+			return nil, err
+		}
+		// Share the full dictionary so codes stay aligned with the source.
+		for _, v := range src.Dict.Values() {
+			dst.Dict.Intern(v)
+		}
+		srcCols[i], dstCols[i] = src, dst
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := float64(targetRows) / total
+	codes := make([]uint32, len(cols))
+	for row := 0; row < tbl.NumRows(); row++ {
+		expected := m.Value(row) * scale
+		reps := int(expected)
+		if rng.Float64() < expected-float64(reps) {
+			reps++
+		}
+		if reps == 0 {
+			continue
+		}
+		for i, c := range srcCols {
+			codes[i] = c.Code(row)
+		}
+		for r := 0; r < reps; r++ {
+			if err := out.AppendCodes(codes, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.Shuffle(seed + 1)
+	return out.Build(), nil
+}

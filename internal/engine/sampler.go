@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fastmatch/internal/bitmap"
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/core"
+	"fastmatch/internal/histogram"
+)
+
+// Executor selects the block-selection strategy, mirroring the approaches
+// compared in §5.2.
+type Executor int
+
+const (
+	// Scan is the exact full-pass baseline (no sampling).
+	Scan Executor = iota
+	// ScanMatch samples by scanning blocks sequentially with no skipping,
+	// terminating when HistSim's criterion holds.
+	ScanMatch
+	// SyncMatch applies AnyActive per block, synchronously, with the
+	// freshest candidate states (Algorithm 2) — no lookahead.
+	SyncMatch
+	// FastMatch applies AnyActive with asynchronous lookahead marking
+	// (Algorithm 3): the sampling engine marks batches of blocks while the
+	// I/O manager reads, decoupling the two (§4.2 Challenge 4).
+	FastMatch
+)
+
+// String implements fmt.Stringer.
+func (e Executor) String() string {
+	switch e {
+	case Scan:
+		return "Scan"
+	case ScanMatch:
+		return "ScanMatch"
+	case SyncMatch:
+		return "SyncMatch"
+	case FastMatch:
+		return "FastMatch"
+	default:
+		return fmt.Sprintf("Executor(%d)", int(e))
+	}
+}
+
+// IOStats counts the I/O work a run performed.
+type IOStats struct {
+	// BlocksRead / BlocksSkipped count AnyActive decisions.
+	BlocksRead, BlocksSkipped int64
+	// TuplesRead counts tuples consumed.
+	TuplesRead int64
+	// Wraps counts cursor wrap-arounds over the block space.
+	Wraps int64
+}
+
+// blockSampler implements core.Sampler over a block-structured table. It
+// owns the I/O manager (block reads) and the sampling engine (block
+// selection policy); the statistics engine is internal/core driving it.
+type blockSampler struct {
+	tbl    *colstore.Table
+	cand   candidateMapper
+	multi  *predicateCandidates // non-nil iff candidates may overlap
+	grp    groupMapper
+	filter func(row int) bool
+	mode   Executor
+
+	lookahead int
+	consumed  *bitmap.Bitset
+	consCnt   int
+	cursor    int
+	exact     []bool // sticky per-candidate exhaustion flags
+	stats     IOStats
+
+	// Round-local state shared between the I/O manager (reader) and the
+	// FastMatch marker goroutine. The reader owns deficit/unmet; the
+	// marker only reads the immutable snapshot published in activeSnap,
+	// so the hot path is lock-free (the paper's Challenge 4: marking must
+	// never block I/O).
+	deficit    []int64
+	unmet      int
+	activeSnap atomic.Pointer[[]int]
+}
+
+func newBlockSampler(tbl *colstore.Table, cand candidateMapper, grp groupMapper,
+	filter func(int) bool, mode Executor, lookahead, startBlock int) *blockSampler {
+	if lookahead <= 0 {
+		lookahead = 1024
+	}
+	nb := tbl.NumBlocks()
+	cursor := 0
+	if nb > 0 {
+		cursor = ((startBlock % nb) + nb) % nb
+	}
+	bs := &blockSampler{
+		tbl:       tbl,
+		cand:      cand,
+		grp:       grp,
+		filter:    filter,
+		mode:      mode,
+		lookahead: lookahead,
+		consumed:  bitmap.NewBitset(nb),
+		cursor:    cursor,
+		exact:     make([]bool, cand.numCandidates()),
+		deficit:   make([]int64, cand.numCandidates()),
+	}
+	if pc, ok := cand.(*predicateCandidates); ok {
+		bs.multi = pc
+	}
+	return bs
+}
+
+// NumCandidates implements core.Sampler.
+func (bs *blockSampler) NumCandidates() int { return bs.cand.numCandidates() }
+
+// Groups implements core.Sampler.
+func (bs *blockSampler) Groups() int { return bs.grp.groups() }
+
+// TotalRows implements core.Sampler.
+func (bs *blockSampler) TotalRows() int64 { return int64(bs.tbl.NumRows()) }
+
+// Stats returns a snapshot of the I/O counters.
+func (bs *blockSampler) Stats() IOStats { return bs.stats }
+
+func (bs *blockSampler) allConsumed() bool { return bs.consCnt >= bs.tbl.NumBlocks() }
+
+func (bs *blockSampler) newBatch() *core.Batch {
+	n := bs.cand.numCandidates()
+	return &core.Batch{Counts: make([]int64, n), Hists: make([]*histogram.Histogram, n)}
+}
+
+func (bs *blockSampler) sealBatch(b *core.Batch) *core.Batch {
+	b.Exhausted = bs.allConsumed()
+	b.Exact = append([]bool(nil), bs.exact...)
+	if b.Exhausted {
+		for i := range b.Exact {
+			b.Exact[i] = true
+		}
+	}
+	return b
+}
+
+// Stage1 implements core.Sampler: read whole blocks sequentially until at
+// least m tuples have been drawn.
+func (bs *blockSampler) Stage1(m int) (*core.Batch, error) {
+	batch := bs.newBatch()
+	total := bs.tbl.NumBlocks()
+	for visited := 0; batch.Drawn < int64(m) && !bs.allConsumed() && visited < total; visited++ {
+		b := bs.advance()
+		if bs.consumed.Get(b) {
+			continue
+		}
+		bs.readBlock(b, batch)
+	}
+	return bs.sealBatch(batch), nil
+}
+
+// SampleUntil implements core.Sampler with the executor's block policy.
+func (bs *blockSampler) SampleUntil(need map[int]int) (*core.Batch, error) {
+	batch := bs.newBatch()
+	bs.unmet = 0
+	for i := range bs.deficit {
+		bs.deficit[i] = 0
+	}
+	for id, n := range need {
+		if id < 0 || id >= bs.cand.numCandidates() {
+			return nil, fmt.Errorf("engine: need for unknown candidate %d", id)
+		}
+		if n > 0 && !bs.exact[id] {
+			bs.deficit[id] = int64(n)
+			bs.unmet++
+		}
+	}
+	if bs.unmet == 0 {
+		return bs.sealBatch(batch), nil
+	}
+	bs.publishActive()
+	switch bs.mode {
+	case ScanMatch, Scan:
+		bs.runSequential(batch, false)
+	case SyncMatch:
+		bs.runSequential(batch, true)
+	case FastMatch:
+		bs.runLookahead(batch)
+	default:
+		return nil, fmt.Errorf("engine: unknown executor %v", bs.mode)
+	}
+	// Any candidate still in deficit after a full pass has no tuples left
+	// in unconsumed blocks (AnyActive is sound), so its cumulative
+	// estimate is exact.
+	if bs.unmet > 0 {
+		for id, d := range bs.deficit {
+			if d > 0 && bs.candidateExhausted(id) {
+				bs.exact[id] = true
+			}
+		}
+	}
+	return bs.sealBatch(batch), nil
+}
+
+// publishActive snapshots the unmet candidate ids for the marker.
+func (bs *blockSampler) publishActive() {
+	active := make([]int, 0, bs.unmet)
+	for id, d := range bs.deficit {
+		if d > 0 {
+			active = append(active, id)
+		}
+	}
+	bs.activeSnap.Store(&active)
+}
+
+// advance returns the current cursor block and moves the cursor.
+func (bs *blockSampler) advance() int {
+	b := bs.cursor
+	bs.cursor++
+	if bs.cursor >= bs.tbl.NumBlocks() {
+		bs.cursor = 0
+		bs.stats.Wraps++
+	}
+	return b
+}
+
+// runSequential drives ScanMatch (anyActive=false: read everything) and
+// SyncMatch (anyActive=true: per-block probe with freshest active set).
+func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) {
+	total := bs.tbl.NumBlocks()
+	for visited := 0; visited < total && bs.unmet > 0 && !bs.allConsumed(); visited++ {
+		b := bs.advance()
+		if bs.consumed.Get(b) {
+			continue
+		}
+		if anyActive {
+			// Algorithm 2: probe each active candidate's bitmap for this
+			// single block — the cache-hostile pattern SyncMatch models —
+			// with the freshest possible active set.
+			if !bs.cand.blockAnyActive(*bs.activeSnap.Load(), b) {
+				bs.stats.BlocksSkipped++
+				continue
+			}
+		}
+		bs.readBlock(b, batch)
+	}
+}
+
+// window is one lookahead batch of marking decisions handed from the
+// sampling engine's marker to the I/O manager (Figure 7).
+type window struct {
+	start int
+	mark  []bool
+}
+
+// runLookahead drives FastMatch: a marker goroutine applies AnyActive to
+// lookahead-sized chunks of upcoming blocks (Algorithm 3) while the
+// calling goroutine — the I/O manager — reads previously marked blocks.
+// The marker works from published active-set snapshots; staleness is safe
+// because the deficit set only shrinks within a round, so a stale mark is
+// a superset of what the freshest state would mark.
+func (bs *blockSampler) runLookahead(batch *core.Batch) {
+	total := bs.tbl.NumBlocks()
+	if total == 0 {
+		return
+	}
+	windows := make(chan window, 2)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+
+	// Sampling engine: marker thread.
+	go func() {
+		defer wg.Done()
+		defer close(windows)
+		pos := bs.cursor
+		marked := 0
+		for marked < total {
+			n := bs.lookahead
+			if n > total-marked {
+				n = total - marked
+			}
+			active := *bs.activeSnap.Load()
+			if len(active) == 0 {
+				return
+			}
+			w := window{start: pos, mark: make([]bool, n)}
+			if w.start+n <= total {
+				bs.cand.markAnyActive(active, w.start, w.mark)
+			} else {
+				// Wrap-around: mark the tail and head segments separately.
+				tail := total - w.start
+				bs.cand.markAnyActive(active, w.start, w.mark[:tail])
+				bs.cand.markAnyActive(active, 0, w.mark[tail:])
+			}
+			select {
+			case windows <- w:
+			case <-done:
+				return
+			}
+			pos = (pos + n) % total
+			marked += n
+		}
+	}()
+
+	// I/O manager: read marked blocks.
+	visited := 0
+readLoop:
+	for w := range windows {
+		for i, marked := range w.mark {
+			if visited >= total || bs.unmet == 0 || bs.allConsumed() {
+				break readLoop
+			}
+			visited++
+			b := (w.start + i) % total
+			if bs.consumed.Get(b) {
+				continue
+			}
+			if !marked {
+				bs.stats.BlocksSkipped++
+				continue
+			}
+			bs.readBlock(b, batch)
+		}
+	}
+	close(done)
+	wg.Wait()
+	// Keep the shared cursor roughly where reading stopped so later
+	// stages continue from fresh blocks.
+	bs.cursor = (bs.cursor + visited) % total
+}
+
+// readBlock consumes block b: every row is drawn, candidate and group
+// mapped, and the batch and deficit updated. Caller ensures b is
+// unconsumed.
+func (bs *blockSampler) readBlock(b int, batch *core.Batch) {
+	lo, hi := bs.tbl.BlockSpan(b)
+	var multiBuf []int
+	for row := lo; row < hi; row++ {
+		batch.Drawn++
+		if bs.filter != nil && !bs.filter(row) {
+			continue
+		}
+		g := bs.grp.groupOf(row)
+		if g < 0 {
+			continue
+		}
+		if bs.multi != nil {
+			multiBuf = bs.multi.candidatesOf(row, multiBuf[:0])
+			for _, id := range multiBuf {
+				bs.record(id, g, batch)
+			}
+			continue
+		}
+		if id := bs.cand.candidateOf(row); id >= 0 {
+			bs.record(id, g, batch)
+		}
+	}
+	bs.stats.TuplesRead += int64(hi - lo)
+	bs.consumed.Set(b)
+	bs.consCnt++
+	bs.stats.BlocksRead++
+}
+
+func (bs *blockSampler) record(id, g int, batch *core.Batch) {
+	if batch.Hists[id] == nil {
+		batch.Hists[id] = histogram.New(bs.grp.groups())
+	}
+	batch.Hists[id].Add(g)
+	batch.Counts[id]++
+	if d := bs.deficit[id]; d > 0 {
+		bs.deficit[id] = d - 1
+		if d == 1 {
+			bs.unmet--
+			bs.publishActive()
+		}
+	}
+}
+
+// candidateExhausted reports whether every block containing candidate i
+// has been consumed.
+func (bs *blockSampler) candidateExhausted(i int) bool {
+	cb := bs.cand.candidateBlocks(i)
+	if cb == nil {
+		return bs.allConsumed()
+	}
+	for w := 0; w < cb.NumWords(); w++ {
+		if cb.Word(w)&^bs.consumed.Word(w) != 0 {
+			return false
+		}
+	}
+	return true
+}

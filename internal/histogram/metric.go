@@ -1,0 +1,171 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies a distance function over normalized histograms. HistSim
+// is proved for L1 (Theorem 1) but generalizes to any metric with a
+// deviation bound of the same form (Appendix A.2.2); MetricL2 uses the
+// standard L2 concentration bound.
+type Metric int
+
+const (
+	// MetricL1 is the paper's default: ‖ā − b̄‖₁, twice total variation.
+	MetricL1 Metric = iota
+	// MetricL2 is the SeeDB/Sample+Seek metric ‖ā − b̄‖₂.
+	MetricL2
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricL1:
+		return "l1"
+	case MetricL2:
+		return "l2"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// ParseMetric converts "l1"/"l2" into a Metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "l1", "L1":
+		return MetricL1, nil
+	case "l2", "L2":
+		return MetricL2, nil
+	}
+	return 0, fmt.Errorf("histogram: unknown metric %q", s)
+}
+
+// Distance computes the metric between two histograms' normalized forms.
+func (m Metric) Distance(a, b *Histogram) float64 {
+	switch m {
+	case MetricL1:
+		return L1(a, b)
+	case MetricL2:
+		return L2(a, b)
+	default:
+		panic("histogram: unknown metric")
+	}
+}
+
+// Deviation returns the ε for which an empirical distribution built from n
+// samples is within ε of the truth (in this metric) with probability > 1−δ.
+//
+// For L1 this is Theorem 1 of the paper:
+//
+//	ε = sqrt( (2/n) (|V_X| ln 2 + ln(1/δ)) )
+//
+// For L2 we use the McDiarmid-based bound (see e.g. Waggoner 2015,
+// Sample+Seek): P(‖p̂−p‖₂ > 1/√n + ε) ≤ exp(−n ε²/2), i.e.
+//
+//	ε_total = 1/√n + sqrt( (2/n) ln(1/δ) ).
+func (m Metric) Deviation(groups, n int, delta float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	nf := float64(n)
+	switch m {
+	case MetricL1:
+		return math.Sqrt(2 / nf * (float64(groups)*math.Ln2 + math.Log(1/delta)))
+	case MetricL2:
+		return 1/math.Sqrt(nf) + math.Sqrt(2/nf*math.Log(1/delta))
+	default:
+		panic("histogram: unknown metric")
+	}
+}
+
+// DeviationPValue returns an upper bound on P(d(r̂, r*) > ε) after n
+// samples: the P-value generator of Section 3.4.3. Values are clamped to
+// [0, 1]. A non-positive ε yields 1 (no evidence); ε = +Inf yields 0
+// (the null is impossible, e.g. s − ε/2 < 0 in line 22 of Algorithm 1).
+func (m Metric) DeviationPValue(groups, n int, eps float64) float64 {
+	if math.IsInf(eps, 1) {
+		return 0
+	}
+	if eps <= 0 || n <= 0 {
+		return 1
+	}
+	nf := float64(n)
+	var logp float64
+	switch m {
+	case MetricL1:
+		// δ = 2^{|V_X|} exp(−ε² n / 2), computed in log space to avoid
+		// overflow of 2^{|V_X|} for large group counts.
+		logp = float64(groups)*math.Ln2 - eps*eps*nf/2
+	case MetricL2:
+		// Invert the L2 bound: the deviation beyond the 1/√n mean term.
+		slack := eps - 1/math.Sqrt(nf)
+		if slack <= 0 {
+			return 1
+		}
+		logp = -slack * slack * nf / 2
+	default:
+		panic("histogram: unknown metric")
+	}
+	if logp >= 0 {
+		return 1
+	}
+	return math.Exp(logp)
+}
+
+// PlanSamples returns the per-round sample-count heuristic used by
+// FastMatch's sampling engine (Challenge 2 in §4.2). It extends the
+// paper's Equation (1) — n' = 2(|V_X| ln 2 − ln δ)/ε'² — with a correction
+// for the upward bias of the plug-in distance estimate: the empirical L1
+// distance computed from n samples overshoots the true distance by about
+// √(2·groups/(π·n)) in expectation, which consumes part of the ε' margin
+// the test needs. Solving (ε' − bias(n))·√n ≥ √(2(groups·ln2 + ln 1/δ))
+// gives
+//
+//	√n' = ( √(2·groups/π) + √(2(groups·ln2 + ln(1/δ))) ) / ε'.
+//
+// Without the correction the simultaneous test reliably fails its first
+// several rounds, and every failed round discards its fresh samples —
+// exactly the "take too few and the test will probably not reject across
+// many rounds" failure mode the paper warns about. Correctness is
+// unaffected either way (HistSim is agnostic to sample counts); this only
+// tunes termination speed. For L2 the Deviation bound already contains
+// the 1/√n bias term, so PlanSamples coincides with SamplesFor.
+func (m Metric) PlanSamples(groups int, eps, delta float64) int {
+	if eps <= 0 {
+		return math.MaxInt64 / 4
+	}
+	switch m {
+	case MetricL1:
+		root := (math.Sqrt(2*float64(groups)/math.Pi) +
+			math.Sqrt(2*(float64(groups)*math.Ln2+math.Log(1/delta)))) / eps
+		return int(math.Ceil(root * root))
+	case MetricL2:
+		return m.SamplesFor(groups, eps, delta)
+	default:
+		panic("histogram: unknown metric")
+	}
+}
+
+// SamplesFor inverts Deviation: the number of samples needed so that the
+// empirical distribution is within eps with probability > 1−δ. For L1 this
+// is the n'_i formula of Equation (1) in the paper when δ = δ_upper.
+func (m Metric) SamplesFor(groups int, eps, delta float64) int {
+	if eps <= 0 {
+		return math.MaxInt64 / 4 // effectively "unachievable"
+	}
+	switch m {
+	case MetricL1:
+		n := 2 * (float64(groups)*math.Ln2 + math.Log(1/delta)) / (eps * eps)
+		return int(math.Ceil(n))
+	case MetricL2:
+		// Solve 1/√n + sqrt(2 ln(1/δ)/n) = eps  ⇒  √n = (1 + sqrt(2 ln 1/δ))/eps.
+		root := (1 + math.Sqrt(2*math.Log(1/delta))) / eps
+		return int(math.Ceil(root * root))
+	default:
+		panic("histogram: unknown metric")
+	}
+}

@@ -1,0 +1,188 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricString(t *testing.T) {
+	if MetricL1.String() != "l1" || MetricL2.String() != "l2" {
+		t.Fatalf("metric names wrong: %s %s", MetricL1, MetricL2)
+	}
+	if Metric(99).String() != "Metric(99)" {
+		t.Fatalf("unknown metric string: %s", Metric(99))
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Metric
+	}{{"l1", MetricL1}, {"L1", MetricL1}, {"l2", MetricL2}, {"L2", MetricL2}} {
+		got, err := ParseMetric(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMetric(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseMetric("manhattan"); err == nil {
+		t.Fatal("ParseMetric accepted unknown name")
+	}
+}
+
+func TestMetricDistanceDispatch(t *testing.T) {
+	a := FromCounts([]float64{1, 3})
+	b := FromCounts([]float64{2, 2})
+	if MetricL1.Distance(a, b) != L1(a, b) {
+		t.Fatal("MetricL1 dispatch mismatch")
+	}
+	if MetricL2.Distance(a, b) != L2(a, b) {
+		t.Fatal("MetricL2 dispatch mismatch")
+	}
+}
+
+func TestDeviationMatchesTheorem1(t *testing.T) {
+	// ε = sqrt( (2/n)(|V_X| ln2 + ln(1/δ)) )
+	groups, n, delta := 24, 10000, 0.01
+	want := math.Sqrt(2.0 / 10000 * (24*math.Ln2 + math.Log(100.0)))
+	got := MetricL1.Deviation(groups, n, delta)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Deviation = %g, want %g", got, want)
+	}
+}
+
+func TestDeviationEdgeCases(t *testing.T) {
+	if !math.IsInf(MetricL1.Deviation(5, 0, 0.1), 1) {
+		t.Fatal("n=0 should give +Inf deviation")
+	}
+	if !math.IsInf(MetricL1.Deviation(5, 10, 0), 1) {
+		t.Fatal("delta=0 should give +Inf deviation")
+	}
+}
+
+// Property: Deviation and SamplesFor are mutually consistent — taking
+// SamplesFor(g, ε, δ) samples yields a deviation bound ≤ ε.
+func TestDeviationSamplesForRoundTrip(t *testing.T) {
+	f := func(g8 uint8, e uint8, d uint8) bool {
+		groups := int(g8%50) + 2
+		eps := 0.01 + float64(e%100)/250.0 // [0.01, 0.41)
+		delta := 0.001 + float64(d%100)/150.0
+		n := MetricL1.SamplesFor(groups, eps, delta)
+		return MetricL1.Deviation(groups, n, delta) <= eps+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplesForL2RoundTrip(t *testing.T) {
+	n := MetricL2.SamplesFor(10, 0.05, 0.01)
+	if dev := MetricL2.Deviation(10, n, 0.01); dev > 0.05+1e-9 {
+		t.Fatalf("L2 round trip: n=%d gives deviation %g > 0.05", n, dev)
+	}
+}
+
+func TestSamplesForZeroEps(t *testing.T) {
+	if n := MetricL1.SamplesFor(4, 0, 0.1); n < 1<<40 {
+		t.Fatalf("SamplesFor(eps=0) should be effectively unbounded, got %d", n)
+	}
+}
+
+func TestDeviationPValueProperties(t *testing.T) {
+	// Monotone decreasing in eps and in n; clamped to [0,1].
+	p1 := MetricL1.DeviationPValue(24, 1000, 0.05)
+	p2 := MetricL1.DeviationPValue(24, 1000, 0.10)
+	p3 := MetricL1.DeviationPValue(24, 4000, 0.05)
+	if !(p2 <= p1 && p3 <= p1) {
+		t.Fatalf("P-value not monotone: p1=%g p2=%g p3=%g", p1, p2, p3)
+	}
+	if p := MetricL1.DeviationPValue(24, 1000, -1); p != 1 {
+		t.Fatalf("negative eps should give p=1, got %g", p)
+	}
+	if p := MetricL1.DeviationPValue(24, 1000, math.Inf(1)); p != 0 {
+		t.Fatalf("eps=+Inf should give p=0, got %g", p)
+	}
+	if p := MetricL1.DeviationPValue(2000, 10, 0.01); p != 1 {
+		t.Fatalf("huge group count with few samples should clamp to 1, got %g", p)
+	}
+}
+
+func TestDeviationPValueConsistentWithDeviation(t *testing.T) {
+	// By construction, DeviationPValue(g, n, Deviation(g, n, δ)) ≈ δ.
+	groups, n, delta := 24, 5000, 0.01
+	eps := MetricL1.Deviation(groups, n, delta)
+	p := MetricL1.DeviationPValue(groups, n, eps)
+	if math.Abs(p-delta) > 1e-9 {
+		t.Fatalf("p = %g, want δ = %g", p, delta)
+	}
+}
+
+// Empirical coverage of Theorem 1: over repeated multinomial draws, the
+// fraction of trials with d(r̂, r*) ≥ ε(n, δ) must be at most δ (the bound
+// is conservative, so observed failures should be far below δ).
+func TestTheorem1EmpiricalCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	groups, n := 8, 2000
+	delta := 0.05
+	eps := MetricL1.Deviation(groups, n, delta)
+	truth := []float64{0.3, 0.2, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05}
+	trueHist := FromCounts(truth)
+	trials, failures := 400, 0
+	for tr := 0; tr < trials; tr++ {
+		emp := New(groups)
+		for s := 0; s < n; s++ {
+			u := rng.Float64()
+			var cum float64
+			for j, p := range truth {
+				cum += p
+				if u <= cum {
+					emp.Add(j)
+					break
+				}
+			}
+		}
+		if L1(emp, trueHist) >= eps {
+			failures++
+		}
+	}
+	if rate := float64(failures) / float64(trials); rate > delta {
+		t.Fatalf("Theorem 1 violated empirically: failure rate %g > δ %g (ε=%g)", rate, delta, eps)
+	}
+}
+
+func TestL2DeviationEmpiricalCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(11))
+	groups, n := 6, 1500
+	delta := 0.05
+	eps := MetricL2.Deviation(groups, n, delta)
+	truth := []float64{0.4, 0.25, 0.15, 0.1, 0.05, 0.05}
+	trueHist := FromCounts(truth)
+	trials, failures := 300, 0
+	for tr := 0; tr < trials; tr++ {
+		emp := New(groups)
+		for s := 0; s < n; s++ {
+			u := rng.Float64()
+			var cum float64
+			for j, p := range truth {
+				cum += p
+				if u <= cum {
+					emp.Add(j)
+					break
+				}
+			}
+		}
+		if L2(emp, trueHist) >= eps {
+			failures++
+		}
+	}
+	if rate := float64(failures) / float64(trials); rate > delta {
+		t.Fatalf("L2 bound violated empirically: failure rate %g > δ %g", rate, delta)
+	}
+}

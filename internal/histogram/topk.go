@@ -1,0 +1,63 @@
+package histogram
+
+import "sort"
+
+// Ranked pairs a candidate index with its distance to the target.
+type Ranked struct {
+	ID       int
+	Distance float64
+}
+
+// TopK returns the k candidates with the smallest distances, sorted
+// ascending by distance with candidate ID as the deterministic tiebreak.
+// If fewer than k distances are provided, all are returned. The ids slice
+// selects which entries of dist participate (pass nil to rank everything).
+func TopK(dist []float64, ids []int, k int) []Ranked {
+	var ranked []Ranked
+	if ids == nil {
+		ranked = make([]Ranked, 0, len(dist))
+		for i, d := range dist {
+			ranked = append(ranked, Ranked{ID: i, Distance: d})
+		}
+	} else {
+		ranked = make([]Ranked, 0, len(ids))
+		for _, id := range ids {
+			ranked = append(ranked, Ranked{ID: id, Distance: dist[id]})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Distance != ranked[j].Distance {
+			return ranked[i].Distance < ranked[j].Distance
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// SplitPoint returns the midpoint s = ½(max_{i∈M} τ_i + min_{j∈A\M} τ_j)
+// used on line 18 of Algorithm 1 to separate matching from non-matching
+// candidates. m holds the distances of the current top-k, rest the
+// distances of the remaining non-pruned candidates. If rest is empty the
+// split point is the maximum of m (everything is matching; the hypotheses
+// for A\M are vacuous).
+func SplitPoint(m, rest []float64) float64 {
+	maxM := 0.0
+	for _, d := range m {
+		if d > maxM {
+			maxM = d
+		}
+	}
+	if len(rest) == 0 {
+		return maxM
+	}
+	minRest := rest[0]
+	for _, d := range rest[1:] {
+		if d < minRest {
+			minRest = d
+		}
+	}
+	return (maxM + minRest) / 2
+}

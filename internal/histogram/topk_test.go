@@ -1,0 +1,120 @@
+package histogram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasic(t *testing.T) {
+	dist := []float64{0.5, 0.1, 0.9, 0.3}
+	got := TopK(dist, nil, 2)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("TopK = %+v", got)
+	}
+}
+
+func TestTopKSubset(t *testing.T) {
+	dist := []float64{0.5, 0.1, 0.9, 0.3}
+	got := TopK(dist, []int{0, 2}, 1)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("TopK over subset = %+v", got)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	got := TopK([]float64{0.2, 0.4}, nil, 10)
+	if len(got) != 2 {
+		t.Fatalf("TopK returned %d, want 2", len(got))
+	}
+}
+
+func TestTopKTieBreakByID(t *testing.T) {
+	dist := []float64{0.3, 0.3, 0.3}
+	got := TopK(dist, nil, 2)
+	if got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("tie-break wrong: %+v", got)
+	}
+}
+
+// Property: TopK output is sorted and contains the k globally smallest
+// distances (as a multiset).
+func TestTopKProperty(t *testing.T) {
+	f := func(seed int64, n8, k8 uint8) bool {
+		n := int(n8%40) + 1
+		k := int(k8%uint8(n)) + 1
+		rng := rand.New(rand.NewSource(seed))
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = rng.Float64()
+		}
+		got := TopK(dist, nil, k)
+		if len(got) != k {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Distance < got[i-1].Distance {
+				return false
+			}
+		}
+		sorted := append([]float64(nil), dist...)
+		sort.Float64s(sorted)
+		for i, r := range got {
+			if r.Distance != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPointMidpoint(t *testing.T) {
+	s := SplitPoint([]float64{0.1, 0.2}, []float64{0.4, 0.6})
+	if !almostEqual(s, 0.3, 1e-12) {
+		t.Fatalf("SplitPoint = %g, want 0.3", s)
+	}
+}
+
+func TestSplitPointEmptyRest(t *testing.T) {
+	s := SplitPoint([]float64{0.1, 0.25}, nil)
+	if s != 0.25 {
+		t.Fatalf("SplitPoint with empty rest = %g, want 0.25", s)
+	}
+}
+
+// Property: the split point lies within [max(M), min(rest)] whenever the
+// sets are correctly ordered (max(M) ≤ min(rest)).
+func TestSplitPointBetweenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := make([]float64, rng.Intn(5)+1)
+		rest := make([]float64, rng.Intn(5)+1)
+		for i := range m {
+			m[i] = rng.Float64() * 0.5
+		}
+		for i := range rest {
+			rest[i] = 0.5 + rng.Float64()*0.5
+		}
+		s := SplitPoint(m, rest)
+		maxM := 0.0
+		for _, d := range m {
+			if d > maxM {
+				maxM = d
+			}
+		}
+		minR := rest[0]
+		for _, d := range rest {
+			if d < minR {
+				minR = d
+			}
+		}
+		return s >= maxM-1e-12 && s <= minR+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

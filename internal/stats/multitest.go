@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HolmBonferroni performs the step-down Holm-Bonferroni procedure at
+// family-wise level alpha over the given P-values and returns the indices
+// (into pvalues) of the rejected null hypotheses.
+//
+// The procedure sorts P-values ascending as p_(1) ≤ … ≤ p_(n), finds the
+// minimal j with p_(j) > alpha/(n−j+1), and rejects exactly the hypotheses
+// ranked before j. It controls the family-wise error rate at alpha for any
+// dependence structure and is uniformly more powerful than the plain
+// Bonferroni correction (§3.2).
+func HolmBonferroni(pvalues []float64, alpha float64) []int {
+	n := len(pvalues)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pvalues[order[a]] < pvalues[order[b]] })
+	var rejected []int
+	for rank, idx := range order {
+		threshold := alpha / float64(n-rank)
+		if pvalues[idx] > threshold {
+			break
+		}
+		rejected = append(rejected, idx)
+	}
+	return rejected
+}
+
+// Bonferroni performs the classical single-step Bonferroni correction:
+// reject hypothesis i iff p_i ≤ alpha/n. Kept as the ablation baseline for
+// the Holm-Bonferroni comparison the paper motivates.
+func Bonferroni(pvalues []float64, alpha float64) []int {
+	n := len(pvalues)
+	if n == 0 {
+		return nil
+	}
+	threshold := alpha / float64(n)
+	var rejected []int
+	for i, p := range pvalues {
+		if p <= threshold {
+			rejected = append(rejected, i)
+		}
+	}
+	return rejected
+}
+
+// RejectAll implements the union-intersection tester of Lemma 4: reject
+// every null hypothesis iff max_i p_i ≤ alpha, otherwise reject none. It
+// controls the probability of rejecting one or more true nulls at alpha.
+func RejectAll(pvalues []float64, alpha float64) bool {
+	for _, p := range pvalues {
+		if math.IsNaN(p) || p > alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// GeometricBudget produces the per-round error budgets used by HistSim
+// stage 2: round t (1-based) receives total/2^t, so the series sums to at
+// most total. Halve is the canonical iterator form.
+type GeometricBudget struct {
+	remaining float64
+}
+
+// NewGeometricBudget initializes a budget with the given total error mass
+// (δ/3 for HistSim stage 2).
+func NewGeometricBudget(total float64) (*GeometricBudget, error) {
+	if total <= 0 || total >= 1 {
+		return nil, fmt.Errorf("stats: budget total %g out of (0,1)", total)
+	}
+	return &GeometricBudget{remaining: total}, nil
+}
+
+// Next returns the budget for the next round (half of what remains) and
+// consumes it.
+func (g *GeometricBudget) Next() float64 {
+	g.remaining /= 2
+	return g.remaining
+}
+
+// Remaining reports the unconsumed error mass. After t calls to Next it is
+// total/2^t, which equals the budget just handed out — the defining
+// property of the halving schedule.
+func (g *GeometricBudget) Remaining() float64 { return g.remaining }

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHolmBonferroniTextbook(t *testing.T) {
+	// Classic example: p = {0.01, 0.04, 0.03, 0.005} at α = 0.05.
+	// Sorted: 0.005 ≤ 0.05/4 and 0.01 ≤ 0.05/3 reject; 0.03 > 0.05/2 stops
+	// the step-down, so exactly the two smallest are rejected.
+	p := []float64{0.01, 0.04, 0.03, 0.005}
+	rej := HolmBonferroni(p, 0.05)
+	got := map[int]bool{}
+	for _, i := range rej {
+		got[i] = true
+	}
+	if len(rej) != 2 || !got[0] || !got[3] {
+		t.Fatalf("expected indices {0,3} rejected, got %v", rej)
+	}
+}
+
+func TestHolmBonferroniStopsAtFirstFailure(t *testing.T) {
+	// Sorted: 0.005 ≤ 0.05/3 ok; 0.03 > 0.05/2 stop. Only one rejection,
+	// even though 0.04 ≤ 0.05/1 would pass in isolation.
+	p := []float64{0.03, 0.005, 0.04}
+	rej := HolmBonferroni(p, 0.05)
+	if len(rej) != 1 || rej[0] != 1 {
+		t.Fatalf("expected only index 1 rejected, got %v", rej)
+	}
+}
+
+func TestHolmBonferroniEmpty(t *testing.T) {
+	if rej := HolmBonferroni(nil, 0.05); rej != nil {
+		t.Fatalf("empty input should reject nothing, got %v", rej)
+	}
+}
+
+func TestHolmBonferroniNoneRejected(t *testing.T) {
+	p := []float64{0.9, 0.8, 0.5}
+	if rej := HolmBonferroni(p, 0.05); len(rej) != 0 {
+		t.Fatalf("nothing should be rejected, got %v", rej)
+	}
+}
+
+func TestBonferroniBasic(t *testing.T) {
+	p := []float64{0.01, 0.04, 0.2}
+	rej := Bonferroni(p, 0.05) // threshold 0.05/3 ≈ 0.0167
+	if len(rej) != 1 || rej[0] != 0 {
+		t.Fatalf("Bonferroni = %v, want [0]", rej)
+	}
+	if rej := Bonferroni(nil, 0.05); rej != nil {
+		t.Fatalf("empty Bonferroni should be nil")
+	}
+}
+
+// Property: Holm-Bonferroni rejections are a superset of Bonferroni's
+// (uniform power dominance, the paper's reason for preferring it), and
+// neither rejects anything when all P-values exceed alpha.
+func TestHolmDominatesBonferroniProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		alpha := rng.Float64() * 0.2
+		holm := map[int]bool{}
+		for _, i := range HolmBonferroni(p, alpha) {
+			holm[i] = true
+		}
+		for _, i := range Bonferroni(p, alpha) {
+			if !holm[i] {
+				return false
+			}
+		}
+		for _, i := range HolmBonferroni(p, alpha) {
+			if p[i] > alpha {
+				return false // can never reject an individually insignificant test
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Empirical FWER control: with all nulls true (uniform P-values), the
+// probability of any rejection is ≤ alpha.
+func TestHolmBonferroniFWERControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(42))
+	alpha := 0.05
+	trials, anyRejection := 2000, 0
+	for tr := 0; tr < trials; tr++ {
+		p := make([]float64, 10)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		if len(HolmBonferroni(p, alpha)) > 0 {
+			anyRejection++
+		}
+	}
+	// Allow 3 standard errors of slack above alpha.
+	limit := alpha + 3*math.Sqrt(alpha*(1-alpha)/float64(trials))
+	if rate := float64(anyRejection) / float64(trials); rate > limit {
+		t.Fatalf("FWER %g exceeds α=%g (limit %g)", rate, alpha, limit)
+	}
+}
+
+func TestRejectAll(t *testing.T) {
+	if !RejectAll([]float64{0.001, 0.002}, 0.01) {
+		t.Fatal("should reject all")
+	}
+	if RejectAll([]float64{0.001, 0.02}, 0.01) {
+		t.Fatal("should reject none when any P-value exceeds alpha")
+	}
+	if RejectAll([]float64{0.001, math.NaN()}, 0.01) {
+		t.Fatal("NaN P-value must block rejection")
+	}
+	if !RejectAll(nil, 0.01) {
+		t.Fatal("empty family is vacuously rejected")
+	}
+}
+
+func TestGeometricBudget(t *testing.T) {
+	g, err := NewGeometricBudget(1.0 / 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i := 0; i < 30; i++ {
+		total += g.Next()
+	}
+	if total >= 1.0/3 {
+		t.Fatalf("budget overspent: %g", total)
+	}
+	if math.Abs(total-1.0/3) > 1e-6 {
+		t.Fatalf("budget should approach 1/3, got %g", total)
+	}
+}
+
+func TestGeometricBudgetFirstRounds(t *testing.T) {
+	g, _ := NewGeometricBudget(0.01)
+	if b := g.Next(); math.Abs(b-0.005) > 1e-15 {
+		t.Fatalf("round 1 budget %g, want 0.005", b)
+	}
+	if b := g.Next(); math.Abs(b-0.0025) > 1e-15 {
+		t.Fatalf("round 2 budget %g, want 0.0025", b)
+	}
+	if r := g.Remaining(); math.Abs(r-0.0025) > 1e-15 {
+		t.Fatalf("remaining %g, want 0.0025", r)
+	}
+}
+
+func TestGeometricBudgetValidation(t *testing.T) {
+	for _, bad := range []float64{0, -0.1, 1, 1.5} {
+		if _, err := NewGeometricBudget(bad); err == nil {
+			t.Errorf("NewGeometricBudget(%g) accepted invalid total", bad)
+		}
+	}
+}
