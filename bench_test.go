@@ -10,6 +10,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fastmatch/internal/bitmap"
@@ -203,7 +204,7 @@ func BenchmarkAblationRoundBudget(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				opts := engine.Options{
-					Params: coreParamsForBench(tbl.NumRows(), mode.budget),
+					Params:   coreParamsForBench(tbl.NumRows(), mode.budget),
 					Executor: engine.FastMatch, Lookahead: 1024,
 					StartBlock: -1, Seed: int64(i + 1),
 				}
@@ -290,7 +291,7 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				opts := engine.Options{
-					Params: coreParamsForBench(ds.Table.NumRows(), 0),
+					Params:   coreParamsForBench(ds.Table.NumRows(), 0),
 					Executor: engine.FastMatch, Lookahead: 1024,
 					StartBlock: -1, Seed: int64(i + 1),
 				}
@@ -313,6 +314,95 @@ func coreParamsForBench(rows, roundBudget int) (p core.Params) {
 	p.Metric = histogram.MetricL1
 	p.RoundBudget = roundBudget
 	return p
+}
+
+// --- Parallel execution benchmarks ---
+
+var (
+	pscanOnce sync.Once
+	pscanPlan *engine.Plan
+	pscanTgt  *histogram.Histogram
+	pscanErr  error
+)
+
+// pscanSetup builds the 1M-row datagen table and plan shared by the
+// parallel-scan benchmarks (generated once, outside the timed region).
+func pscanSetup(b *testing.B) (*engine.Plan, *histogram.Histogram) {
+	b.Helper()
+	pscanOnce.Do(func() {
+		ds, err := datagen.Flights(1_000_000, 5, 64)
+		if err != nil {
+			pscanErr = err
+			return
+		}
+		e := engine.New(ds.Table)
+		pscanPlan, pscanErr = e.Prepare(engine.Query{Z: "Origin", X: []string{"DepartureHour"}})
+		if pscanErr != nil {
+			return
+		}
+		pscanTgt, pscanErr = pscanPlan.ResolveTarget(engine.Target{Uniform: true}, 0)
+	})
+	if pscanErr != nil {
+		b.Fatal(pscanErr)
+	}
+	return pscanPlan, pscanTgt
+}
+
+// BenchmarkParallelScan measures the partitioned exact pass at 1/2/4/8
+// workers against the sequential Scan baseline on a 1M-row datagen table.
+// Results are byte-identical across rows (see TestParallelScanMatchesScan);
+// only the wall clock changes.
+func BenchmarkParallelScan(b *testing.B) {
+	p, target := pscanSetup(b)
+	params := coreParamsForBench(1_000_000, 0)
+	run := func(b *testing.B, exec engine.Executor, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := p.RunWithTarget(target, engine.Options{
+				Params: params, Executor: exec, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Exact {
+				b.Fatal("scan result not exact")
+			}
+		}
+	}
+	b.Run("Scan", func(b *testing.B) { run(b, engine.Scan, 0) })
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			run(b, engine.ParallelScan, workers)
+		})
+	}
+}
+
+// BenchmarkConcurrentQueries measures throughput of one shared Engine
+// serving FastMatch queries from GOMAXPROCS goroutines — the serving
+// scenario the concurrent-safe Engine exists for.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	p, target := pscanSetup(b)
+	params := coreParamsForBench(1_000_000, 0)
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// b.Fatal must not run on RunParallel worker goroutines; b.Error
+		// + return is the supported failure path here.
+		for pb.Next() {
+			res, err := p.RunWithTarget(target, engine.Options{
+				Params: params, Executor: engine.FastMatch,
+				Lookahead: 1024, StartBlock: -1, Seed: seq.Add(1),
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(res.TopK) == 0 {
+				b.Error("empty topk")
+				return
+			}
+		}
+	})
 }
 
 // --- Substrate micro-benchmarks ---

@@ -33,14 +33,18 @@ func main() {
 	rows := flag.Int("rows", 4_000_000, "rows per synthetic dataset")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	seed := flag.Int64("seed", 1, "generation seed")
+	// The engine treats seed 0 as fixed, so without an explicit per-run
+	// seed every harness invocation would start each scan at the same
+	// block; default to the wall clock and let -runseed pin it.
+	runSeed := flag.Int64("runseed", time.Now().UnixNano(), "per-run scan-start seed (0 = deterministic starts)")
 	query := flag.String("query", "", "restrict figure sweeps to one query id (default: a representative subset)")
 	guaranteeRuns := flag.Int("guarantee-runs", 5, "runs per query for the guarantee check")
 	flag.Parse()
 
 	fmt.Printf("# FastMatch experiment harness\n")
-	fmt.Printf("# datasets: flights/taxi/police @ %d rows each (seed %d)\n", *rows, *seed)
+	fmt.Printf("# datasets: flights/taxi/police @ %d rows each (seed %d, runseed %d)\n", *rows, *seed, *runSeed)
 	start := time.Now()
-	w, err := expt.NewWorkspace(expt.Config{Rows: *rows, Seed: *seed, Reps: *reps})
+	w, err := expt.NewWorkspace(expt.Config{Rows: *rows, Seed: *seed, Reps: *reps, RunSeed: *runSeed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,12 +33,15 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0.1, "approximation error bound ε")
 	delta := flag.Float64("delta", 0.01, "error probability bound δ")
 	sigma := flag.Float64("sigma", 0.001, "minimum selectivity threshold σ")
-	executor := flag.String("executor", "fastmatch", "scan, scanmatch, syncmatch, or fastmatch")
+	executor := flag.String("executor", "fastmatch", "scan, parallelscan, scanmatch, syncmatch, or fastmatch")
+	workers := flag.Int("workers", 0, "parallelscan worker count (0 = GOMAXPROCS)")
 	metric := flag.String("metric", "l1", "distance metric: l1 or l2")
 	targetCandidate := flag.String("target-candidate", "", "candidate value whose histogram is the target")
 	targetUniform := flag.Bool("target-uniform", false, "target the uniform distribution")
 	targetCounts := flag.String("target-counts", "", "explicit target counts, comma-separated")
-	seed := flag.Int64("seed", time.Now().UnixNano(), "randomization seed")
+	// Options.Seed 0 means a fixed start block, so the tool seeds each
+	// invocation from the wall clock unless the user pins -seed.
+	seed := flag.Int64("seed", time.Now().UnixNano(), "randomization seed (default: per-run from wall clock)")
 	showHist := flag.Bool("hist", false, "print each match's histogram")
 	flag.Parse()
 
@@ -74,6 +77,7 @@ func main() {
 	opts.Params.Metric = m
 	opts.Executor = exec
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	var target fastmatch.Target
 	switch {
@@ -120,6 +124,8 @@ func parseExecutor(s string) (fastmatch.Executor, error) {
 	switch strings.ToLower(s) {
 	case "scan":
 		return fastmatch.Scan, nil
+	case "parallelscan":
+		return fastmatch.ParallelScan, nil
 	case "scanmatch":
 		return fastmatch.ScanMatch, nil
 	case "syncmatch":

@@ -50,8 +50,13 @@ type (
 
 // Re-exported query/engine types.
 type (
-	// Engine answers matching queries over one Table.
+	// Engine answers matching queries over one Table. One shared Engine is
+	// safe for concurrent use: its index and density caches are guarded by
+	// singleflight locking, and per-run scan state lives in the run.
 	Engine = engine.Engine
+	// Plan is a prepared query — candidate and group mappers resolved
+	// once, reusable (and safe to share) across runs; see Engine.Prepare.
+	Plan = engine.Plan
 	// Query is a histogram-generating query template: candidate attribute
 	// Z, grouping attribute(s) X, plus optional extensions.
 	Query = engine.Query
@@ -84,6 +89,9 @@ const (
 	SyncMatch = engine.SyncMatch
 	// FastMatch adds asynchronous lookahead marking — the full system.
 	FastMatch = engine.FastMatch
+	// ParallelScan is the exact baseline partitioned over Options.Workers
+	// goroutines (default GOMAXPROCS); results are identical to Scan.
+	ParallelScan = engine.ParallelScan
 )
 
 // Distance metrics.
@@ -121,6 +129,11 @@ func MeasureBiasedView(tbl *Table, measure string, targetRows int, seed int64) (
 // dataset of totalRows tuples: k=10, ε=0.04, δ=0.01, σ=0.0008,
 // lookahead=1024 blocks, FastMatch executor, and a stage-1 sample of
 // max(rows/20, 2000) capped at the paper's m = 5·10⁵.
+//
+// Seed is left at zero, which is a fixed seed, not a random one: with the
+// default StartBlock of -1 every run derives the same pseudo-random start
+// block. Set Options.Seed per run (e.g. from wall-clock time) to
+// reproduce the paper's independent-runs behavior.
 func DefaultOptions(totalRows int) Options {
 	m := totalRows / 20
 	if m < 2000 {

@@ -84,7 +84,7 @@ func buildTestTable(t testing.TB, blockSize int, zcodes []uint32, card int) *col
 		t.Fatal(err)
 	}
 	for v := 0; v < card; v++ {
-		zc.Dict.Intern(string(rune('a' + v%26)) + string(rune('0'+v/26)))
+		zc.Dict.Intern(string(rune('a'+v%26)) + string(rune('0'+v/26)))
 	}
 	for _, code := range zcodes {
 		if err := b.AppendCodes([]uint32{code}, nil); err != nil {

@@ -36,7 +36,13 @@ type Query struct {
 	// measure-biased view (Appendix A.1.1); see MeasureBiasedView.
 	Measure string
 	// Filter, when set, restricts the relation to rows where it returns
-	// true (WHERE predicates beyond the candidate equality).
+	// true (WHERE predicates beyond the candidate equality). The
+	// ParallelScan executor invokes it from several goroutines within one
+	// run, and sharing an Engine or Plan across goroutines makes
+	// concurrent runs each call it too — so unless every run using this
+	// query is sequential and non-ParallelScan, the function must be safe
+	// for concurrent calls. (Candidate-target resolution itself drops to
+	// one worker when a Filter is present.)
 	Filter func(row int) bool
 }
 
@@ -56,15 +62,25 @@ type Target struct {
 type Options struct {
 	// Params are HistSim's knobs (k, ε, δ, σ, m, metric, …).
 	Params core.Params
-	// Executor selects Scan / ScanMatch / SyncMatch / FastMatch.
+	// Executor selects Scan / ScanMatch / SyncMatch / FastMatch /
+	// ParallelScan.
 	Executor Executor
 	// Lookahead is the FastMatch marking window in blocks (default 1024).
 	Lookahead int
 	// StartBlock is the scan start position; negative picks one at random
 	// from Seed (the paper starts each run at a random position).
 	StartBlock int
-	// Seed drives the random start position.
+	// Seed drives the random start position when StartBlock is negative.
+	// A zero Seed is a fixed seed, not "random": every run with Seed 0
+	// (DefaultOptions leaves it zero) derives the same pseudo-random start
+	// block. Callers wanting the paper's independent-runs behavior must
+	// supply a distinct Seed per run (the CLI tools seed from wall-clock
+	// time).
 	Seed int64
+	// Workers is the goroutine count for the ParallelScan executor and
+	// for parallel candidate-target resolution; ≤ 0 selects GOMAXPROCS.
+	// It does not affect the sampling executors.
+	Workers int
 }
 
 // Result is a complete query answer.
@@ -100,21 +116,23 @@ type Match struct {
 }
 
 // Engine answers top-k histogram matching queries over one table. It
-// caches bitmap indexes and density maps per column. An Engine is safe for
-// sequential reuse across queries; concurrent runs need separate Engines
-// (each run maintains scan-position state).
+// caches bitmap indexes and density maps per column behind singleflight
+// guards, so one shared Engine is safe for concurrent use: any number of
+// goroutines may Prepare, Run, and ResolveTarget simultaneously (per-run
+// scan state lives in the run, not the Engine). Concurrent requests for a
+// missing index block on a single build instead of duplicating it.
 type Engine struct {
 	tbl     *colstore.Table
-	indexes map[string]*bitmap.Index
-	density map[string]*bitmap.DensityMap
+	indexes *buildCache[*bitmap.Index]
+	density *buildCache[*bitmap.DensityMap]
 }
 
 // New creates an engine over a table.
 func New(tbl *colstore.Table) *Engine {
 	return &Engine{
 		tbl:     tbl,
-		indexes: make(map[string]*bitmap.Index),
-		density: make(map[string]*bitmap.DensityMap),
+		indexes: newBuildCache[*bitmap.Index](),
+		density: newBuildCache[*bitmap.DensityMap](),
 	}
 }
 
@@ -122,193 +140,93 @@ func New(tbl *colstore.Table) *Engine {
 func (e *Engine) Table() *colstore.Table { return e.tbl }
 
 // Index returns (building if needed) the bitmap index for a column.
+// Indexes are immutable once built and shared across runs.
 func (e *Engine) Index(column string) (*bitmap.Index, error) {
-	if idx, ok := e.indexes[column]; ok {
-		return idx, nil
-	}
-	idx, err := bitmap.Build(e.tbl, column)
-	if err != nil {
-		return nil, err
-	}
-	e.indexes[column] = idx
-	return idx, nil
+	return e.indexes.get(column, func() (*bitmap.Index, error) {
+		return bitmap.Build(e.tbl, column)
+	})
 }
 
 // Density returns (building if needed) the density map for a column.
 func (e *Engine) Density(column string) (*bitmap.DensityMap, error) {
-	if dm, ok := e.density[column]; ok {
-		return dm, nil
-	}
-	dm, err := bitmap.BuildDensity(e.tbl, column)
-	if err != nil {
-		return nil, err
-	}
-	e.density[column] = dm
-	return dm, nil
-}
-
-// plan resolves a query into mappers.
-func (e *Engine) plan(q Query) (candidateMapper, groupMapper, error) {
-	grp, err := e.planGroups(q)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(q.CandidatePreds) > 0 {
-		pc, err := newPredicateCandidates(e.tbl, q.CandidatePreds, e.density)
-		if err != nil {
-			return nil, nil, err
-		}
-		return pc, grp, nil
-	}
-	if q.Z == "" {
-		return nil, nil, fmt.Errorf("engine: query needs Z or CandidatePreds")
-	}
-	col, err := e.tbl.Column(q.Z)
-	if err != nil {
-		return nil, nil, err
-	}
-	idx, err := e.Index(q.Z)
-	if err != nil {
-		return nil, nil, err
-	}
-	cc, err := newColumnCandidates(col, idx, q.KnownCandidates)
-	if err != nil {
-		return nil, nil, err
-	}
-	return cc, grp, nil
-}
-
-func (e *Engine) planGroups(q Query) (groupMapper, error) {
-	if q.XMeasure != "" {
-		if q.XBins == nil {
-			return nil, fmt.Errorf("engine: XMeasure %q needs XBins", q.XMeasure)
-		}
-		m, err := e.tbl.Measure(q.XMeasure)
-		if err != nil {
-			return nil, err
-		}
-		return binnedGroups{m: m, binner: q.XBins}, nil
-	}
-	if len(q.X) == 0 {
-		return nil, fmt.Errorf("engine: query needs X or XMeasure")
-	}
-	if len(q.X) == 1 {
-		col, err := e.tbl.Column(q.X[0])
-		if err != nil {
-			return nil, err
-		}
-		return singleGroups{col: col}, nil
-	}
-	cols := make([]*colstore.Column, len(q.X))
-	for i, name := range q.X {
-		col, err := e.tbl.Column(name)
-		if err != nil {
-			return nil, err
-		}
-		cols[i] = col
-	}
-	return newMultiGroups(cols)
+	return e.density.get(column, func() (*bitmap.DensityMap, error) {
+		return bitmap.BuildDensity(e.tbl, column)
+	})
 }
 
 // ResolveTarget materializes the target histogram for a query. Candidate
-// targets are resolved with an exact scan restricted (via the bitmap
-// index) to the blocks containing the candidate.
+// targets are resolved with an exact parallel scan restricted (via the
+// bitmap index) to the blocks containing the candidate.
 func (e *Engine) ResolveTarget(q Query, t Target) (*histogram.Histogram, error) {
-	cand, grp, err := e.plan(q)
+	p, err := e.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	switch {
-	case len(t.Counts) > 0:
-		if len(t.Counts) != grp.groups() {
-			return nil, fmt.Errorf("engine: target has %d groups, query produces %d", len(t.Counts), grp.groups())
-		}
-		return histogram.FromCounts(t.Counts), nil
-	case t.Uniform:
-		counts := make([]float64, grp.groups())
-		for i := range counts {
-			counts[i] = 1
-		}
-		return histogram.FromCounts(counts), nil
-	case t.Candidate != "":
-		id := -1
-		for i := 0; i < cand.numCandidates(); i++ {
-			if cand.labelOf(i) == t.Candidate {
-				id = i
-				break
-			}
-		}
-		if id < 0 {
-			return nil, fmt.Errorf("engine: target candidate %q not found", t.Candidate)
-		}
-		h := histogram.New(grp.groups())
-		blocks := cand.candidateBlocks(id)
-		for b := 0; b < e.tbl.NumBlocks(); b++ {
-			if blocks != nil && !blocks.Get(b) {
-				continue
-			}
-			lo, hi := e.tbl.BlockSpan(b)
-			for row := lo; row < hi; row++ {
-				if q.Filter != nil && !q.Filter(row) {
-					continue
-				}
-				if cand.candidateOf(row) != id {
-					continue
-				}
-				if g := grp.groupOf(row); g >= 0 {
-					h.Add(g)
-				}
-			}
-		}
-		return h, nil
-	default:
-		return nil, fmt.Errorf("engine: empty target specification")
-	}
+	return p.ResolveTarget(t, 0)
 }
 
-// Run answers the query with the configured executor. The target is
-// resolved before timing starts, matching the paper's measurement of query
-// execution only.
+// Run plans the query and answers it with the configured executor. The
+// target is resolved before timing starts, matching the paper's
+// measurement of query execution only. Repeated runs of the same query
+// shape should Prepare once and call Plan.Run instead.
 func (e *Engine) Run(q Query, t Target, opts Options) (*Result, error) {
-	if q.Measure != "" {
-		return nil, fmt.Errorf("engine: SUM queries run over a MeasureBiasedView table; build one with MeasureBiasedView and query it with COUNT semantics")
-	}
-	target, err := e.ResolveTarget(q, t)
+	p, err := e.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.RunWithTarget(q, target, opts)
+	return p.Run(t, opts)
 }
 
 // RunWithTarget answers the query against a pre-resolved target histogram.
 func (e *Engine) RunWithTarget(q Query, target *histogram.Histogram, opts Options) (*Result, error) {
-	cand, grp, err := e.plan(q)
+	p, err := e.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	if target.Groups() != grp.groups() {
-		return nil, fmt.Errorf("engine: target has %d groups, query produces %d", target.Groups(), grp.groups())
+	return p.RunWithTarget(target, opts)
+}
+
+// Run resolves the target under the plan and answers it with the
+// configured executor.
+func (p *Plan) Run(t Target, opts Options) (*Result, error) {
+	target, err := p.ResolveTarget(t, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunWithTarget(target, opts)
+}
+
+// RunWithTarget answers the plan against a pre-resolved target histogram.
+// The Plan is immutable: concurrent RunWithTarget calls on one Plan are
+// safe, each run owning its private sampler state.
+func (p *Plan) RunWithTarget(target *histogram.Histogram, opts Options) (*Result, error) {
+	if target.Groups() != p.grp.groups() {
+		return nil, fmt.Errorf("engine: target has %d groups, query produces %d", target.Groups(), p.grp.groups())
+	}
+	began := time.Now()
+	if opts.Executor == Scan || opts.Executor == ParallelScan {
+		workers := 1
+		if opts.Executor == ParallelScan {
+			workers = opts.Workers
+		}
+		res, err := p.runScan(target, opts.Params, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Duration = time.Since(began)
+		res.GroupLabels = groupLabels(p.grp)
+		return res, nil
 	}
 	start := opts.StartBlock
 	if start < 0 {
-		nb := e.tbl.NumBlocks()
+		nb := p.engine.tbl.NumBlocks()
 		if nb > 0 {
 			start = rand.New(rand.NewSource(opts.Seed)).Intn(nb)
 		} else {
 			start = 0
 		}
 	}
-	began := time.Now()
-	if opts.Executor == Scan {
-		res, err := e.runScan(q, cand, grp, target, opts.Params)
-		if err != nil {
-			return nil, err
-		}
-		res.Duration = time.Since(began)
-		res.GroupLabels = groupLabels(grp)
-		return res, nil
-	}
-	bs := newBlockSampler(e.tbl, cand, grp, q.Filter, opts.Executor, opts.Lookahead, start)
+	bs := newBlockSampler(p.engine.tbl, p.cand, p.grp, p.query.Filter, opts.Executor, opts.Lookahead, start)
 	coreRes, err := core.Run(bs, target, opts.Params)
 	if err != nil {
 		return nil, err
@@ -318,95 +236,19 @@ func (e *Engine) RunWithTarget(q Query, target *histogram.Histogram, opts Option
 		Stats:       coreRes.Stats,
 		IO:          bs.Stats(),
 		Duration:    time.Since(began),
-		GroupLabels: groupLabels(grp),
+		GroupLabels: groupLabels(p.grp),
 	}
 	for _, rk := range coreRes.TopK {
 		res.TopK = append(res.TopK, Match{
 			ID:        rk.ID,
-			Label:     cand.labelOf(rk.ID),
+			Label:     p.cand.labelOf(rk.ID),
 			Distance:  rk.Distance,
 			Histogram: coreRes.Hists[rk.ID],
 		})
 	}
 	for _, id := range coreRes.Pruned {
-		res.Pruned = append(res.Pruned, cand.labelOf(id))
+		res.Pruned = append(res.Pruned, p.cand.labelOf(id))
 	}
-	return res, nil
-}
-
-// runScan is the exact baseline: one full pass computing every candidate
-// histogram, exact σ pruning, exact top-k.
-func (e *Engine) runScan(q Query, cand candidateMapper, grp groupMapper,
-	target *histogram.Histogram, params core.Params) (*Result, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	n := cand.numCandidates()
-	hists := make([]*histogram.Histogram, n)
-	for i := range hists {
-		hists[i] = histogram.New(grp.groups())
-	}
-	var multi *predicateCandidates
-	if pc, ok := cand.(*predicateCandidates); ok {
-		multi = pc
-	}
-	var io IOStats
-	var multiBuf []int
-	totalRows := 0
-	for b := 0; b < e.tbl.NumBlocks(); b++ {
-		lo, hi := e.tbl.BlockSpan(b)
-		io.BlocksRead++
-		for row := lo; row < hi; row++ {
-			io.TuplesRead++
-			totalRows++
-			if q.Filter != nil && !q.Filter(row) {
-				continue
-			}
-			g := grp.groupOf(row)
-			if g < 0 {
-				continue
-			}
-			if multi != nil {
-				multiBuf = multi.candidatesOf(row, multiBuf[:0])
-				for _, id := range multiBuf {
-					hists[id].Add(g)
-				}
-				continue
-			}
-			if id := cand.candidateOf(row); id >= 0 {
-				hists[id].Add(g)
-			}
-		}
-	}
-	res := &Result{Exact: true, IO: io}
-	dist := make([]float64, n)
-	var keep []int
-	for i := range hists {
-		sel := hists[i].Total() / float64(totalRows)
-		if params.Sigma > 0 && sel < params.Sigma {
-			res.Pruned = append(res.Pruned, cand.labelOf(i))
-			continue
-		}
-		dist[i] = params.Metric.Distance(hists[i], target)
-		keep = append(keep, i)
-	}
-	k := params.K
-	if params.KRange.KMax > 0 {
-		k = params.KRange.KMax
-		if k > len(keep) && params.KRange.KMin <= len(keep) {
-			k = len(keep)
-		}
-	}
-	for _, rk := range histogram.TopK(dist, keep, k) {
-		res.TopK = append(res.TopK, Match{
-			ID:        rk.ID,
-			Label:     cand.labelOf(rk.ID),
-			Distance:  rk.Distance,
-			Histogram: hists[rk.ID].Clone(),
-		})
-	}
-	res.Stats.ChosenK = len(res.TopK)
-	res.Stats.PrunedCandidates = len(res.Pruned)
 	return res, nil
 }
 

@@ -167,8 +167,8 @@ func TestQueryValidation(t *testing.T) {
 	e := New(tbl)
 	params := testParams()
 	cases := []Query{
-		{},                           // no Z, no X
-		{Z: "Z"},                     // no X
+		{},       // no Z, no X
+		{Z: "Z"}, // no X
 		{Z: "missing", X: []string{"X"}},
 		{Z: "Z", X: []string{"missing"}},
 		{Z: "Z", XMeasure: "M"}, // bins missing

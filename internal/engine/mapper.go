@@ -114,7 +114,8 @@ type candidateMapper interface {
 // columnCandidates derives candidates from the distinct values of one
 // categorical column, backed by a bitmap.Index. An optional dummy
 // candidate absorbs every value outside a known subset, implementing the
-// unknown-candidate-domain extension of Appendix A.1.5.
+// unknown-candidate-domain extension of Appendix A.1.5. All fields are
+// read-only after construction, so one instance may serve concurrent runs.
 type columnCandidates struct {
 	col   *colstore.Column
 	idx   *bitmap.Index
@@ -123,7 +124,6 @@ type columnCandidates struct {
 	candValue []int
 	dummyID   int // -1 when absent
 	dummyBits *bitmap.Bitset
-	buf       []uint32 // scratch for translating active ids to value codes
 }
 
 func newColumnCandidates(col *colstore.Column, idx *bitmap.Index, known []string) (*columnCandidates, error) {
@@ -181,17 +181,19 @@ func (cc *columnCandidates) candidateOf(row int) int {
 }
 
 // activeValues translates candidate ids to value codes, separating out the
-// dummy (which has no single value bitmap).
+// dummy (which has no single value bitmap). It allocates a fresh slice
+// rather than reusing mapper-level scratch so the mapper stays free of
+// mutable state (it is called once per lookahead window, not per row).
 func (cc *columnCandidates) activeValues(active []int) (values []uint32, dummyActive bool) {
-	cc.buf = cc.buf[:0]
+	values = make([]uint32, 0, len(active))
 	for _, id := range active {
 		if id == cc.dummyID {
 			dummyActive = true
 			continue
 		}
-		cc.buf = append(cc.buf, uint32(cc.candValue[id]))
+		values = append(values, uint32(cc.candValue[id]))
 	}
-	return cc.buf, dummyActive
+	return values, dummyActive
 }
 
 func (cc *columnCandidates) markAnyActive(active []int, start int, mark []bool) {
@@ -241,11 +243,12 @@ func (cc *columnCandidates) labelOf(i int) string {
 }
 
 // predicateCandidates derives candidates from boolean predicates over
-// attribute values (Appendix A.1.2), using density maps for block
-// estimates. A row belongs to every predicate it satisfies; HistSim's
-// Holm–Bonferroni machinery is agnostic to the induced dependence.
-// Because a row may match several predicates, candidateOf is replaced by
-// candidatesOf; the sampler handles the multi-membership.
+// attribute values (Appendix A.1.2), using the density maps embedded in
+// the predicates for block estimates. A row belongs to every predicate it
+// satisfies; HistSim's Holm–Bonferroni machinery is agnostic to the
+// induced dependence. Because a row may match several predicates,
+// candidateOf is replaced by candidatesOf; the sampler handles the
+// multi-membership. Read-only after construction.
 type predicateCandidates struct {
 	preds    []bitmap.Predicate
 	matchers []func(row int) bool
@@ -253,7 +256,7 @@ type predicateCandidates struct {
 	labels   []string
 }
 
-func newPredicateCandidates(tbl *colstore.Table, preds []bitmap.Predicate, dms map[string]*bitmap.DensityMap) (*predicateCandidates, error) {
+func newPredicateCandidates(tbl *colstore.Table, preds []bitmap.Predicate) (*predicateCandidates, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("engine: no candidate predicates")
 	}
@@ -274,7 +277,6 @@ func newPredicateCandidates(tbl *colstore.Table, preds []bitmap.Predicate, dms m
 		pc.blocks = append(pc.blocks, bs)
 		pc.labels = append(pc.labels, p.String())
 	}
-	_ = dms // density maps are embedded in the predicates themselves
 	return pc, nil
 }
 

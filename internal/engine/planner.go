@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"fmt"
+
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/histogram"
+)
+
+// Plan is a resolved query: the candidate and group mappers bound to the
+// engine's table and indexes. Planning resolves columns, builds (or fetches
+// cached) bitmap indexes, and compiles predicate matchers once; the
+// resulting Plan is immutable and safe for concurrent use, so callers
+// issuing the same query shape repeatedly — or from many goroutines —
+// should Prepare once and reuse the Plan across runs.
+type Plan struct {
+	engine *Engine
+	query  Query
+	cand   candidateMapper
+	multi  *predicateCandidates // non-nil iff candidates may overlap
+	grp    groupMapper
+}
+
+// Prepare resolves a query into a reusable Plan. Run, RunWithTarget, and
+// ResolveTarget are one-shot wrappers around Prepare; prepare explicitly to
+// amortize planning across repeated runs.
+func (e *Engine) Prepare(q Query) (*Plan, error) {
+	if q.Measure != "" {
+		return nil, fmt.Errorf("engine: SUM queries run over a MeasureBiasedView table; build one with MeasureBiasedView and query it with COUNT semantics")
+	}
+	grp, err := e.planGroups(q)
+	if err != nil {
+		return nil, err
+	}
+	cand, err := e.planCandidates(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{engine: e, query: q, cand: cand, grp: grp}
+	if pc, ok := cand.(*predicateCandidates); ok {
+		p.multi = pc
+	}
+	return p, nil
+}
+
+// plan is the internal form of Prepare, kept for call sites that want the
+// raw mappers.
+func (e *Engine) plan(q Query) (candidateMapper, groupMapper, error) {
+	p, err := e.Prepare(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.cand, p.grp, nil
+}
+
+// planCandidates resolves the candidate mapper: predicate candidates when
+// CandidatePreds is set, otherwise the distinct values of the Z column
+// backed by its bitmap index.
+func (e *Engine) planCandidates(q Query) (candidateMapper, error) {
+	if len(q.CandidatePreds) > 0 {
+		return newPredicateCandidates(e.tbl, q.CandidatePreds)
+	}
+	if q.Z == "" {
+		return nil, fmt.Errorf("engine: query needs Z or CandidatePreds")
+	}
+	col, err := e.tbl.Column(q.Z)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := e.Index(q.Z)
+	if err != nil {
+		return nil, err
+	}
+	return newColumnCandidates(col, idx, q.KnownCandidates)
+}
+
+// planGroups resolves the group mapper: binned measure groups, a single
+// categorical column, or the cross product of several.
+func (e *Engine) planGroups(q Query) (groupMapper, error) {
+	if q.XMeasure != "" {
+		if q.XBins == nil {
+			return nil, fmt.Errorf("engine: XMeasure %q needs XBins", q.XMeasure)
+		}
+		m, err := e.tbl.Measure(q.XMeasure)
+		if err != nil {
+			return nil, err
+		}
+		return binnedGroups{m: m, binner: q.XBins}, nil
+	}
+	if len(q.X) == 0 {
+		return nil, fmt.Errorf("engine: query needs X or XMeasure")
+	}
+	if len(q.X) == 1 {
+		col, err := e.tbl.Column(q.X[0])
+		if err != nil {
+			return nil, err
+		}
+		return singleGroups{col: col}, nil
+	}
+	cols := make([]*colstore.Column, len(q.X))
+	for i, name := range q.X {
+		col, err := e.tbl.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return newMultiGroups(cols)
+}
+
+// Query returns the query this plan resolves.
+func (p *Plan) Query() Query { return p.query }
+
+// Groups returns the number of histogram groups the plan produces.
+func (p *Plan) Groups() int { return p.grp.groups() }
+
+// NumCandidates returns the number of candidates in the plan's domain.
+func (p *Plan) NumCandidates() int { return p.cand.numCandidates() }
+
+// GroupLabels names the histogram groups, aligned with Histogram indices.
+func (p *Plan) GroupLabels() []string { return groupLabels(p.grp) }
+
+// ResolveTarget materializes the target histogram under this plan.
+// Candidate targets are resolved with an exact parallel scan restricted
+// (via the bitmap index) to the blocks containing the candidate; workers
+// ≤ 0 selects GOMAXPROCS.
+func (p *Plan) ResolveTarget(t Target, workers int) (*histogram.Histogram, error) {
+	switch {
+	case len(t.Counts) > 0:
+		if len(t.Counts) != p.grp.groups() {
+			return nil, fmt.Errorf("engine: target has %d groups, query produces %d", len(t.Counts), p.grp.groups())
+		}
+		return histogram.FromCounts(t.Counts), nil
+	case t.Uniform:
+		counts := make([]float64, p.grp.groups())
+		for i := range counts {
+			counts[i] = 1
+		}
+		return histogram.FromCounts(counts), nil
+	case t.Candidate != "":
+		id := -1
+		for i := 0; i < p.cand.numCandidates(); i++ {
+			if p.cand.labelOf(i) == t.Candidate {
+				id = i
+				break
+			}
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("engine: target candidate %q not found", t.Candidate)
+		}
+		if p.query.Filter != nil {
+			// A Filter closure written against the pre-planner API may be
+			// stateful; only the explicit ParallelScan executor opts into
+			// concurrent Filter calls, so resolve filtered targets
+			// sequentially.
+			workers = 1
+		}
+		return p.newScanExec(workers).candidateHistogram(id), nil
+	default:
+		return nil, fmt.Errorf("engine: empty target specification")
+	}
+}

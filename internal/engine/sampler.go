@@ -28,6 +28,11 @@ const (
 	// (Algorithm 3): the sampling engine marks batches of blocks while the
 	// I/O manager reads, decoupling the two (§4.2 Challenge 4).
 	FastMatch
+	// ParallelScan is the exact baseline run as N workers over disjoint
+	// block partitions with per-worker accumulators merged at a barrier;
+	// results are identical to Scan. Worker count comes from
+	// Options.Workers (default GOMAXPROCS).
+	ParallelScan
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +46,8 @@ func (e Executor) String() string {
 		return "SyncMatch"
 	case FastMatch:
 		return "FastMatch"
+	case ParallelScan:
+		return "ParallelScan"
 	default:
 		return fmt.Sprintf("Executor(%d)", int(e))
 	}
@@ -54,6 +61,14 @@ type IOStats struct {
 	TuplesRead int64
 	// Wraps counts cursor wrap-arounds over the block space.
 	Wraps int64
+}
+
+// add accumulates other into s.
+func (s *IOStats) add(other IOStats) {
+	s.BlocksRead += other.BlocksRead
+	s.BlocksSkipped += other.BlocksSkipped
+	s.TuplesRead += other.TuplesRead
+	s.Wraps += other.Wraps
 }
 
 // blockSampler implements core.Sampler over a block-structured table. It
@@ -121,8 +136,17 @@ func (bs *blockSampler) Groups() int { return bs.grp.groups() }
 // TotalRows implements core.Sampler.
 func (bs *blockSampler) TotalRows() int64 { return int64(bs.tbl.NumRows()) }
 
-// Stats returns a snapshot of the I/O counters.
-func (bs *blockSampler) Stats() IOStats { return bs.stats }
+// Stats returns a snapshot of the I/O counters. The counters are
+// maintained with atomics, so Stats may be called while a run is in
+// flight (e.g. by a progress monitor on another goroutine).
+func (bs *blockSampler) Stats() IOStats {
+	return IOStats{
+		BlocksRead:    atomic.LoadInt64(&bs.stats.BlocksRead),
+		BlocksSkipped: atomic.LoadInt64(&bs.stats.BlocksSkipped),
+		TuplesRead:    atomic.LoadInt64(&bs.stats.TuplesRead),
+		Wraps:         atomic.LoadInt64(&bs.stats.Wraps),
+	}
+}
 
 func (bs *blockSampler) allConsumed() bool { return bs.consCnt >= bs.tbl.NumBlocks() }
 
@@ -217,7 +241,7 @@ func (bs *blockSampler) advance() int {
 	bs.cursor++
 	if bs.cursor >= bs.tbl.NumBlocks() {
 		bs.cursor = 0
-		bs.stats.Wraps++
+		atomic.AddInt64(&bs.stats.Wraps, 1)
 	}
 	return b
 }
@@ -236,7 +260,7 @@ func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) {
 			// single block — the cache-hostile pattern SyncMatch models —
 			// with the freshest possible active set.
 			if !bs.cand.blockAnyActive(*bs.activeSnap.Load(), b) {
-				bs.stats.BlocksSkipped++
+				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
 				continue
 			}
 		}
@@ -315,7 +339,7 @@ readLoop:
 				continue
 			}
 			if !marked {
-				bs.stats.BlocksSkipped++
+				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
 				continue
 			}
 			bs.readBlock(b, batch)
@@ -354,10 +378,10 @@ func (bs *blockSampler) readBlock(b int, batch *core.Batch) {
 			bs.record(id, g, batch)
 		}
 	}
-	bs.stats.TuplesRead += int64(hi - lo)
+	atomic.AddInt64(&bs.stats.TuplesRead, int64(hi-lo))
 	bs.consumed.Set(b)
 	bs.consCnt++
-	bs.stats.BlocksRead++
+	atomic.AddInt64(&bs.stats.BlocksRead, 1)
 }
 
 func (bs *blockSampler) record(id, g int, batch *core.Batch) {

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"fastmatch/internal/bitmap"
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/core"
+	"fastmatch/internal/histogram"
+)
+
+// scanExec is the exact-pass executor: the full-data baseline the paper
+// compares against (§5.2), generalized to N workers sweeping disjoint
+// contiguous block ranges with private accumulators that are merged at a
+// barrier. With workers == 1 it degenerates to the sequential Scan
+// baseline; ParallelScan runs it at Options.Workers (default GOMAXPROCS).
+// Because every worker counts a disjoint set of rows and counts are
+// integer-valued, the merged histograms — and therefore distances, pruning
+// decisions, and the top-k — are identical to the sequential pass
+// regardless of worker count.
+type scanExec struct {
+	tbl     *colstore.Table
+	cand    candidateMapper
+	multi   *predicateCandidates // non-nil iff candidates may overlap
+	grp     groupMapper
+	filter  func(row int) bool
+	workers int
+}
+
+// newScanExec binds a scan executor to a plan. Workers ≤ 0 selects
+// GOMAXPROCS; the count is further capped at the number of blocks.
+func (p *Plan) newScanExec(workers int) *scanExec {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if nb := p.engine.tbl.NumBlocks(); workers > nb {
+		workers = nb
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &scanExec{
+		tbl:     p.engine.tbl,
+		cand:    p.cand,
+		multi:   p.multi,
+		grp:     p.grp,
+		filter:  p.query.Filter,
+		workers: workers,
+	}
+}
+
+// scanPartial is one worker's private accumulators.
+type scanPartial struct {
+	hists []*histogram.Histogram // lazily allocated per candidate
+	io    IOStats
+	rows  int64
+}
+
+// partition splits [0, NumBlocks) into s.workers contiguous ranges.
+func (s *scanExec) partition() [][2]int {
+	nb := s.tbl.NumBlocks()
+	ranges := make([][2]int, 0, s.workers)
+	chunk := (nb + s.workers - 1) / s.workers
+	for lo := 0; lo < nb; lo += chunk {
+		hi := lo + chunk
+		if hi > nb {
+			hi = nb
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	return ranges
+}
+
+// scanRange sweeps blocks [loBlock, hiBlock), restricted to `only` when
+// non-nil, recording every row whose candidate passes keep (keep < 0 keeps
+// all candidates).
+func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int) *scanPartial {
+	part := &scanPartial{hists: make([]*histogram.Histogram, s.cand.numCandidates())}
+	var multiBuf []int
+	for b := loBlock; b < hiBlock; b++ {
+		if only != nil && !only.Get(b) {
+			continue
+		}
+		lo, hi := s.tbl.BlockSpan(b)
+		part.io.BlocksRead++
+		for row := lo; row < hi; row++ {
+			part.io.TuplesRead++
+			part.rows++
+			if s.filter != nil && !s.filter(row) {
+				continue
+			}
+			g := s.grp.groupOf(row)
+			if g < 0 {
+				continue
+			}
+			if s.multi != nil {
+				// All-matches membership, for the full scan and for the
+				// keep-one target path alike: a predicate candidate's true
+				// histogram includes every row satisfying it, even rows an
+				// earlier overlapping predicate also matches.
+				multiBuf = s.multi.candidatesOf(row, multiBuf[:0])
+				for _, id := range multiBuf {
+					if keep >= 0 && id != keep {
+						continue
+					}
+					part.add(id, g, s.grp.groups())
+				}
+				continue
+			}
+			id := s.cand.candidateOf(row)
+			if id < 0 || (keep >= 0 && id != keep) {
+				continue
+			}
+			part.add(id, g, s.grp.groups())
+		}
+	}
+	return part
+}
+
+func (p *scanPartial) add(id, g, groups int) {
+	if p.hists[id] == nil {
+		p.hists[id] = histogram.New(groups)
+	}
+	p.hists[id].Add(g)
+}
+
+// run fans the scan out over the partitioned block ranges and merges the
+// per-worker accumulators at the barrier into a complete histogram set.
+func (s *scanExec) run(only *bitmap.Bitset, keep int) ([]*histogram.Histogram, IOStats, int64) {
+	ranges := s.partition()
+	parts := make([]*scanPartial, len(ranges))
+	var wg sync.WaitGroup
+	for w, r := range ranges {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = s.scanRange(lo, hi, only, keep)
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+
+	n := s.cand.numCandidates()
+	hists := make([]*histogram.Histogram, n)
+	for i := range hists {
+		hists[i] = histogram.New(s.grp.groups())
+	}
+	var io IOStats
+	var rows int64
+	for _, part := range parts {
+		io.add(part.io)
+		rows += part.rows
+		for i, h := range part.hists {
+			if h == nil {
+				continue
+			}
+			if err := hists[i].AddHistogram(h); err != nil {
+				panic(err) // group counts match by construction
+			}
+		}
+	}
+	return hists, io, rows
+}
+
+// candidateHistogram computes the exact histogram of one candidate,
+// restricted (via the bitmap index) to the blocks that contain it.
+func (s *scanExec) candidateHistogram(id int) *histogram.Histogram {
+	hists, _, _ := s.run(s.cand.candidateBlocks(id), id)
+	return hists[id]
+}
+
+// runScan answers the plan exactly: one full pass computing every
+// candidate histogram, exact σ pruning, exact top-k.
+func (p *Plan) runScan(target *histogram.Histogram, params core.Params, workers int) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	hists, io, totalRows := p.newScanExec(workers).run(nil, -1)
+	res := &Result{Exact: true, IO: io}
+	n := p.cand.numCandidates()
+	dist := make([]float64, n)
+	var keep []int
+	for i := range hists {
+		sel := hists[i].Total() / float64(totalRows)
+		if params.Sigma > 0 && sel < params.Sigma {
+			res.Pruned = append(res.Pruned, p.cand.labelOf(i))
+			continue
+		}
+		dist[i] = params.Metric.Distance(hists[i], target)
+		keep = append(keep, i)
+	}
+	k := params.K
+	if params.KRange.KMax > 0 {
+		k = params.KRange.KMax
+		if k > len(keep) && params.KRange.KMin <= len(keep) {
+			k = len(keep)
+		}
+	}
+	for _, rk := range histogram.TopK(dist, keep, k) {
+		res.TopK = append(res.TopK, Match{
+			ID:        rk.ID,
+			Label:     p.cand.labelOf(rk.ID),
+			Distance:  rk.Distance,
+			Histogram: hists[rk.ID].Clone(),
+		})
+	}
+	res.Stats.ChosenK = len(res.TopK)
+	res.Stats.PrunedCandidates = len(res.Pruned)
+	return res, nil
+}

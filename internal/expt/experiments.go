@@ -321,10 +321,10 @@ func GuaranteeCheck(w *Workspace, runs int) (violations, total int, err error) {
 // SigmaZeroRow captures the σ=0 pathology measurement (§5.4 "When
 // approximation performs poorly").
 type SigmaZeroRow struct {
-	Query               string
-	Executor            string
+	Query                string
+	Executor             string
 	WithSigma, ZeroSigma time.Duration
-	Slowdown            float64
+	Slowdown             float64
 }
 
 // SigmaZero measures the TAXI queries with and without stage-1 pruning.
