@@ -6,6 +6,11 @@
 //
 //	go run ./cmd/datagen -dataset taxi -rows 100000 -out taxi.csv
 //	go run ./cmd/datagen -dataset flights -rows 50000 | head
+//	go run ./cmd/datagen -dataset flights -rows 500000 -out "" -snapshot flights.fms
+//
+// -snapshot additionally writes the built table as a binary snapshot
+// (see internal/colstore: WriteSnapshot) that fastmatchd can cold-start
+// from without CSV re-parsing; pass -out "" to skip the CSV entirely.
 package main
 
 import (
@@ -23,7 +28,8 @@ func main() {
 	dataset := flag.String("dataset", "flights", "preset: flights, taxi, or police")
 	rows := flag.Int("rows", 100_000, "number of tuples")
 	seed := flag.Int64("seed", 1, "generation seed")
-	out := flag.String("out", "-", "output path (- for stdout)")
+	out := flag.String("out", "-", "CSV output path (- for stdout, empty to skip CSV)")
+	snapshot := flag.String("snapshot", "", "also write a binary table snapshot to this path")
 	summary := flag.Bool("summary", false, "print per-column summaries to stderr")
 	flag.Parse()
 
@@ -41,6 +47,15 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "  %-16s cardinality %d\n", name, col.Cardinality())
 		}
+	}
+	if *snapshot != "" {
+		if err := colstore.WriteSnapshotFile(ds.Table, *snapshot); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *snapshot)
+	}
+	if *out == "" {
+		return
 	}
 	var w *bufio.Writer
 	if *out == "-" {

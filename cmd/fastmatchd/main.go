@@ -1,0 +1,119 @@
+// Command fastmatchd is the FastMatch query-serving daemon: it loads one
+// or more datasets into a table registry and answers top-k histogram
+// matching queries over JSON/HTTP, with plan and result caching and
+// admission control (see internal/server).
+//
+// Usage:
+//
+//	go run ./cmd/datagen -dataset flights -rows 500000 -out "" -snapshot flights.fms
+//	go run ./cmd/fastmatchd -listen :8080 -table flights=flights.fms
+//
+//	curl -s localhost:8080/v1/tables
+//	curl -s -X POST localhost:8080/v1/query -d '{
+//	    "table": "flights",
+//	    "query": {"z": "Origin", "x": ["DepartureHour"]},
+//	    "target": {"uniform": true},
+//	    "options": {"k": 5, "executor": "scan"}
+//	}'
+//
+// -table name=path is repeatable; .fms/.snap/.snapshot paths load as
+// binary snapshots (fast cold start, layout preserved), everything else
+// as CSV. CSV measure columns are named with -measures table:col1,col2.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fastmatch/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent engine runs bound (0 = 2×GOMAXPROCS)")
+	maxWait := flag.Duration("max-wait", 2*time.Second, "how long over-capacity requests wait before 503 (negative = reject immediately)")
+	planCache := flag.Int("plan-cache", 256, "plan cache entries (negative disables)")
+	resultCache := flag.Int("result-cache", 1024, "result cache entries (negative disables)")
+	admin := flag.Bool("admin", false, "expose POST /v1/admin/load (trusted networks only)")
+	shuffleSeed := flag.Int64("shuffle-seed", 1, "row shuffle seed for CSV tables (negative = keep file order; snapshots always keep their layout)")
+
+	var tables []server.TableSpec
+	flag.Func("table", "dataset to serve, as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		tables = append(tables, server.TableSpec{Name: name, Path: path})
+		return nil
+	})
+	measures := map[string][]string{}
+	flag.Func("measures", "CSV measure columns, as table:col1,col2 (repeatable)", func(v string) error {
+		name, cols, ok := strings.Cut(v, ":")
+		if !ok || name == "" || cols == "" {
+			return fmt.Errorf("want table:col1,col2, got %q", v)
+		}
+		measures[name] = strings.Split(cols, ",")
+		return nil
+	})
+	flag.Parse()
+
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "fastmatchd: no tables; pass at least one -table name=path")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxWait:         *maxWait,
+		PlanCacheSize:   *planCache,
+		ResultCacheSize: *resultCache,
+		EnableAdmin:     *admin,
+	})
+	for _, spec := range tables {
+		spec.Measures = measures[spec.Name]
+		spec.ShuffleSeed = shuffleSeed
+		began := time.Now()
+		if err := srv.LoadTable(spec); err != nil {
+			log.Fatal(err)
+		}
+		for _, info := range srv.Tables() {
+			if info.Name == spec.Name {
+				log.Printf("loaded table %q: %d rows, %d blocks (%s) in %v",
+					info.Name, info.Rows, info.Blocks, spec.Path, time.Since(began).Round(time.Millisecond))
+			}
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("fastmatchd serving %d table(s) on %s", len(tables), *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command serverclient shows the serving subsystem end to end in one
+// process: build the quickstart census table, register it with an
+// embedded fastmatch.Server, and query it over real HTTP — including a
+// repeat of the same request to demonstrate the result cache.
+//
+// Run with:
+//
+//	go run ./examples/serverclient
+//
+// For a standalone daemon over files on disk, see cmd/fastmatchd.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"fastmatch"
+)
+
+func main() {
+	// 1. Build the quickstart table: per-country income distributions.
+	b := fastmatch.NewBuilder(64)
+	if _, err := b.AddColumn("country"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := b.AddColumn("income_bracket"); err != nil {
+		log.Fatal(err)
+	}
+	brackets := []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7"}
+	shapes := map[string][]float64{
+		"greece":     {5, 9, 12, 9, 5, 3, 1},
+		"portugal":   {5, 8, 12, 10, 5, 3, 1},
+		"croatia":    {6, 9, 11, 9, 6, 3, 2},
+		"luxembourg": {1, 2, 4, 7, 10, 12, 9},
+		"norway":     {1, 3, 6, 9, 11, 9, 5},
+		"brazil":     {12, 10, 7, 5, 3, 2, 1},
+		"japan":      {2, 5, 9, 12, 9, 5, 2},
+	}
+	for country, shape := range shapes {
+		var total float64
+		for _, s := range shape {
+			total += s
+		}
+		for i, s := range shape {
+			for p := 0; p < int(s/total*20_000); p++ {
+				err := b.AppendRow(map[string]string{
+					"country": country, "income_bracket": brackets[i],
+				}, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Shuffle(7)
+
+	// 2. Register the table with an embedded server and serve it.
+	srv := fastmatch.NewServer(fastmatch.ServerConfig{})
+	if err := srv.RegisterTable("census", b.Build()); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("serving on %s\n\n", ts.URL)
+
+	// 3. Ask over HTTP: which countries look most like Greece?
+	request := `{
+	  "table": "census",
+	  "query": {"z": "country", "x": ["income_bracket"]},
+	  "target": {"candidate": "greece"},
+	  "options": {"k": 3, "epsilon": 0.05, "seed": 1}
+	}`
+	for attempt := 1; attempt <= 2; attempt++ {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			bytes.NewReader([]byte(request)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var reply struct {
+			Cached     bool  `json:"cached"`
+			DurationNS int64 `json:"duration_ns"`
+			Result     struct {
+				TopK []struct {
+					Label    string  `json:"label"`
+					Distance float64 `json:"distance"`
+				} `json:"topk"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(body, &reply); err != nil {
+			log.Fatalf("%v in %s", err, body)
+		}
+		fmt.Printf("request %d (cached=%v, %.2fms):\n", attempt, reply.Cached,
+			float64(reply.DurationNS)/1e6)
+		for rank, m := range reply.Result.TopK {
+			fmt.Printf("  %d. %-12s L1 distance %.4f\n", rank+1, m.Label, m.Distance)
+		}
+	}
+
+	// 4. Show the serving stats the daemon exposes on /v1/stats.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, stats, "", "  "); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/v1/stats:\n%s\n", pretty.Bytes())
+}

@@ -32,6 +32,7 @@ import (
 	"fastmatch/internal/core"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/histogram"
+	"fastmatch/internal/server"
 )
 
 // Re-exported storage types: build tables with Builder, group continuous
@@ -102,6 +103,31 @@ const (
 	MetricL2 = histogram.MetricL2
 )
 
+// Re-exported serving types: run queries behind a long-lived HTTP daemon
+// (cmd/fastmatchd) or embed a Server in your own process.
+type (
+	// Server is the query-serving subsystem: a multi-table registry with
+	// one shared Engine per dataset, a JSON-over-HTTP API, LRU plan and
+	// result caches, admission control, and per-table metrics.
+	Server = server.Server
+	// ServerConfig parameterizes a Server; the zero value is usable.
+	ServerConfig = server.Config
+	// TableSpec describes a dataset to load (CSV or binary snapshot).
+	TableSpec = server.TableSpec
+)
+
+// NewServer creates a query server; register tables with
+// Server.LoadTable or Server.RegisterTable and expose Server.Handler.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// WriteSnapshot serializes a table as a versioned binary snapshot that
+// loads without CSV re-parsing and preserves the block layout exactly
+// (see internal/colstore for the format).
+func WriteSnapshot(tbl *Table, path string) error { return colstore.WriteSnapshotFile(tbl, path) }
+
+// ReadSnapshot loads a table snapshot written by WriteSnapshot.
+func ReadSnapshot(path string) (*Table, error) { return colstore.ReadSnapshotFile(path) }
+
 // NewEngine creates an engine over a table.
 func NewEngine(tbl *Table) *Engine { return engine.New(tbl) }
 
@@ -134,25 +160,4 @@ func MeasureBiasedView(tbl *Table, measure string, targetRows int, seed int64) (
 // default StartBlock of -1 every run derives the same pseudo-random start
 // block. Set Options.Seed per run (e.g. from wall-clock time) to
 // reproduce the paper's independent-runs behavior.
-func DefaultOptions(totalRows int) Options {
-	m := totalRows / 20
-	if m < 2000 {
-		m = 2000
-	}
-	if m > 500_000 {
-		m = 500_000
-	}
-	return Options{
-		Params: Params{
-			K:             10,
-			Epsilon:       0.04,
-			Delta:         0.01,
-			Sigma:         0.0008,
-			Stage1Samples: m,
-			Metric:        MetricL1,
-		},
-		Executor:   FastMatch,
-		Lookahead:  1024,
-		StartBlock: -1,
-	}
-}
+func DefaultOptions(totalRows int) Options { return engine.DefaultOptions(totalRows) }

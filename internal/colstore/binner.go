@@ -51,6 +51,13 @@ func NewUniformBinner(lo, hi float64, n int) (*Binner, error) {
 // NumBins returns the number of bins.
 func (b *Binner) NumBins() int { return len(b.edges) - 1 }
 
+// Edges returns a copy of the bin edges (length NumBins()+1).
+func (b *Binner) Edges() []float64 {
+	out := make([]float64, len(b.edges))
+	copy(out, b.edges)
+	return out
+}
+
 // Bin returns the bin index for v and whether v falls inside the binner's
 // range. Values exactly at the top edge land in the last bin.
 func (b *Binner) Bin(v float64) (int, bool) {

@@ -1,0 +1,330 @@
+package colstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary table snapshots.
+//
+// A snapshot is the serialized form of a Table, letting a server cold-start
+// a large dataset without re-parsing (and re-shuffling) CSV: the block
+// layout and the row permutation are preserved exactly, so a table read
+// back from a snapshot produces byte-identical query results.
+//
+// Format (all integers little-endian, strings length-prefixed by uint32):
+//
+//	offset 0: magic "FMSNAP\x00\x01" (8 bytes; last byte is the version)
+//	header:   uint32 blockSize
+//	          uint64 rows
+//	          uint32 #categorical columns
+//	          uint32 #measure columns
+//	per categorical column (declaration order):
+//	          string name
+//	          uint32 dictionary length, then each value as a string
+//	          rows × uint32 codes
+//	per measure column (declaration order):
+//	          string name
+//	          rows × float64 (IEEE 754 bits) values
+//	trailer:  uint32 CRC-32 (IEEE) of every byte after the magic
+//
+// The magic's embedded version is bumped on any incompatible change;
+// readers reject snapshots whose version they do not understand.
+
+// snapshotMagic identifies snapshot files; the final byte is the format
+// version.
+var snapshotMagic = [8]byte{'F', 'M', 'S', 'N', 'A', 'P', 0x00, 0x01}
+
+// ioChunk is the staging-buffer size for bulk code/value encoding.
+const ioChunk = 1 << 16
+
+// WriteSnapshot serializes a table to w in the versioned binary snapshot
+// format.
+func WriteSnapshot(tbl *Table, w io.Writer) error {
+	bw := bufio.NewWriterSize(w, ioChunk)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("colstore: writing snapshot magic: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	cw := io.MultiWriter(bw, crc)
+	var scratch [8]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := cw.Write(scratch[:4])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := cw.Write(scratch[:8])
+		return err
+	}
+	putStr := func(s string) error {
+		if err := putU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, s)
+		return err
+	}
+	if err := putU32(uint32(tbl.blockSize)); err != nil {
+		return err
+	}
+	if err := putU64(uint64(tbl.rows)); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(tbl.cols))); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(tbl.measures))); err != nil {
+		return err
+	}
+	buf := make([]byte, ioChunk)
+	for _, c := range tbl.cols {
+		if err := putStr(c.Name); err != nil {
+			return err
+		}
+		if err := putU32(uint32(c.Dict.Len())); err != nil {
+			return err
+		}
+		for _, v := range c.Dict.values {
+			if err := putStr(v); err != nil {
+				return err
+			}
+		}
+		codes := c.codes
+		for len(codes) > 0 {
+			n := len(codes)
+			if n > len(buf)/4 {
+				n = len(buf) / 4
+			}
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(buf[4*i:], codes[i])
+			}
+			if _, err := cw.Write(buf[:4*n]); err != nil {
+				return err
+			}
+			codes = codes[n:]
+		}
+	}
+	for _, m := range tbl.measures {
+		if err := putStr(m.Name); err != nil {
+			return err
+		}
+		values := m.values
+		for len(values) > 0 {
+			n := len(values)
+			if n > len(buf)/8 {
+				n = len(buf) / 8
+			}
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(values[i]))
+			}
+			if _, err := cw.Write(buf[:8*n]); err != nil {
+				return err
+			}
+			values = values[n:]
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// maxSnapshotDim bounds header-declared counts so a corrupt or hostile
+// snapshot cannot force absurd allocations before the CRC check runs.
+const maxSnapshotDim = 1 << 31
+
+// ReadSnapshot deserializes a table from the snapshot format, verifying
+// the magic, version, and CRC trailer.
+func ReadSnapshot(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, ioChunk)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("colstore: reading snapshot magic: %w", err)
+	}
+	if !bytes.Equal(magic[:7], snapshotMagic[:7]) {
+		return nil, fmt.Errorf("colstore: not a snapshot file (bad magic)")
+	}
+	if magic[7] != snapshotMagic[7] {
+		return nil, fmt.Errorf("colstore: unsupported snapshot version %d (want %d)", magic[7], snapshotMagic[7])
+	}
+	crc := crc32.NewIEEE()
+	cr := io.TeeReader(br, crc)
+	var scratch [8]byte
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	getU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(cr, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	getStr := func() (string, error) {
+		n, err := getU32()
+		if err != nil {
+			return "", err
+		}
+		// Strings are names and dictionary values; 16 MiB is far beyond
+		// any legitimate one and keeps a corrupt length from forcing a
+		// giant allocation before the CRC check.
+		if n > 1<<24 {
+			return "", fmt.Errorf("colstore: snapshot string length %d out of range", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(cr, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	fail := func(what string, err error) (*Table, error) {
+		return nil, fmt.Errorf("colstore: reading snapshot %s: %w", what, err)
+	}
+	blockSize, err := getU32()
+	if err != nil {
+		return fail("header", err)
+	}
+	rows64, err := getU64()
+	if err != nil {
+		return fail("header", err)
+	}
+	ncols, err := getU32()
+	if err != nil {
+		return fail("header", err)
+	}
+	nmeas, err := getU32()
+	if err != nil {
+		return fail("header", err)
+	}
+	if blockSize == 0 || blockSize > maxSnapshotDim {
+		return nil, fmt.Errorf("colstore: snapshot block size %d out of range", blockSize)
+	}
+	if rows64 > maxSnapshotDim {
+		return nil, fmt.Errorf("colstore: snapshot row count %d out of range", rows64)
+	}
+	if ncols > 1<<16 || nmeas > 1<<16 {
+		return nil, fmt.Errorf("colstore: snapshot declares %d columns, %d measures", ncols, nmeas)
+	}
+	rows := int(rows64)
+	tbl := &Table{
+		colByName: make(map[string]int, ncols),
+		measByID:  make(map[string]int, nmeas),
+		rows:      rows,
+		blockSize: int(blockSize),
+	}
+	buf := make([]byte, ioChunk)
+	for ci := 0; ci < int(ncols); ci++ {
+		name, err := getStr()
+		if err != nil {
+			return fail("column name", err)
+		}
+		if _, dup := tbl.colByName[name]; dup {
+			return nil, fmt.Errorf("colstore: snapshot has duplicate column %q", name)
+		}
+		dictLen, err := getU32()
+		if err != nil {
+			return fail("dictionary", err)
+		}
+		if dictLen > maxSnapshotDim {
+			return nil, fmt.Errorf("colstore: snapshot dictionary size %d out of range", dictLen)
+		}
+		dict := NewDictionary()
+		for i := 0; i < int(dictLen); i++ {
+			v, err := getStr()
+			if err != nil {
+				return fail("dictionary value", err)
+			}
+			if _, dup := dict.Code(v); dup {
+				return nil, fmt.Errorf("colstore: snapshot column %q has duplicate dictionary value %q", name, v)
+			}
+			dict.Intern(v)
+		}
+		// Grow the slice as bytes actually arrive instead of trusting the
+		// header's row count up front: a corrupt or truncated file can
+		// then only force allocation proportional to its real size.
+		codes := make([]uint32, 0, min(rows, ioChunk))
+		for len(codes) < rows {
+			n := rows - len(codes)
+			if n > len(buf)/4 {
+				n = len(buf) / 4
+			}
+			if _, err := io.ReadFull(cr, buf[:4*n]); err != nil {
+				return fail("codes", err)
+			}
+			for i := 0; i < n; i++ {
+				code := binary.LittleEndian.Uint32(buf[4*i:])
+				if code >= dictLen {
+					return nil, fmt.Errorf("colstore: snapshot column %q code %d out of range (dict size %d)", name, code, dictLen)
+				}
+				codes = append(codes, code)
+			}
+		}
+		tbl.colByName[name] = len(tbl.cols)
+		tbl.cols = append(tbl.cols, &Column{Name: name, Dict: dict, codes: codes})
+	}
+	for mi := 0; mi < int(nmeas); mi++ {
+		name, err := getStr()
+		if err != nil {
+			return fail("measure name", err)
+		}
+		if _, dup := tbl.measByID[name]; dup {
+			return nil, fmt.Errorf("colstore: snapshot has duplicate measure %q", name)
+		}
+		values := make([]float64, 0, min(rows, ioChunk))
+		for len(values) < rows {
+			n := rows - len(values)
+			if n > len(buf)/8 {
+				n = len(buf) / 8
+			}
+			if _, err := io.ReadFull(cr, buf[:8*n]); err != nil {
+				return fail("measure values", err)
+			}
+			for i := 0; i < n; i++ {
+				values = append(values, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+			}
+		}
+		tbl.measByID[name] = len(tbl.measures)
+		tbl.measures = append(tbl.measures, &MeasureColumn{Name: name, values: values})
+	}
+	want := crc.Sum32()
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return fail("CRC trailer", err)
+	}
+	if got := binary.LittleEndian.Uint32(scratch[:4]); got != want {
+		return nil, fmt.Errorf("colstore: snapshot CRC mismatch (file %08x, computed %08x)", got, want)
+	}
+	return tbl, nil
+}
+
+// WriteSnapshotFile writes a table snapshot to path.
+func WriteSnapshotFile(tbl *Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(tbl, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshotFile reads a table snapshot from path.
+func ReadSnapshotFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -1,0 +1,152 @@
+package colstore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// snapshotFixture builds a small table with two categorical columns and a
+// measure, shuffled so the snapshot must preserve a nontrivial permutation.
+func snapshotFixture(t *testing.T) *Table {
+	t.Helper()
+	b := NewBuilder(16)
+	if _, err := b.AddColumn("country"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddColumn("bracket"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddMeasure("amount"); err != nil {
+		t.Fatal(err)
+	}
+	countries := []string{"greece", "portugal", "norway", "brazil"}
+	for i := 0; i < 500; i++ {
+		err := b.AppendRow(map[string]string{
+			"country": countries[i%len(countries)],
+			"bracket": fmt.Sprintf("b%d", i%7),
+		}, map[string]float64{"amount": float64(i%97) / 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Shuffle(42)
+	return b.Build()
+}
+
+// csvDump renders a table as CSV text; byte equality of dumps implies the
+// tables hold identical rows in identical order.
+func csvDump(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteCSV(tbl, &sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tbl := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tbl.NumRows() || got.BlockSize() != tbl.BlockSize() || got.NumBlocks() != tbl.NumBlocks() {
+		t.Fatalf("shape mismatch: rows %d/%d, blockSize %d/%d",
+			got.NumRows(), tbl.NumRows(), got.BlockSize(), tbl.BlockSize())
+	}
+	if want, have := csvDump(t, tbl), csvDump(t, got); want != have {
+		t.Fatal("round-tripped table rows differ from original")
+	}
+	// Dictionaries must keep code order, not just values.
+	for _, name := range tbl.Columns() {
+		a, _ := tbl.Column(name)
+		b, err := got.Column(name)
+		if err != nil {
+			t.Fatalf("column %q lost: %v", name, err)
+		}
+		for code := uint32(0); int(code) < a.Dict.Len(); code++ {
+			if a.Dict.Value(code) != b.Dict.Value(code) {
+				t.Fatalf("column %q code %d: %q != %q", name, code, a.Dict.Value(code), b.Dict.Value(code))
+			}
+		}
+	}
+	if _, err := got.Measure("amount"); err != nil {
+		t.Fatalf("measure lost: %v", err)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	tbl := snapshotFixture(t)
+	path := t.TempDir() + "/fixture.fms"
+	if err := WriteSnapshotFile(tbl, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, have := csvDump(t, tbl), csvDump(t, got); want != have {
+		t.Fatal("file round trip altered table contents")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	tbl := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Flip one payload byte: either a structural check or the CRC trailer
+	// must catch it — a corrupt snapshot never loads silently.
+	for _, off := range []int{16, len(clean) / 2, len(clean) - 5} {
+		mut := append([]byte(nil), clean...)
+		mut[off] ^= 0xff
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("corruption at offset %d not detected", off)
+		}
+	}
+
+	// Truncation.
+	if _, err := ReadSnapshot(bytes.NewReader(clean[:len(clean)-8])); err == nil {
+		t.Fatal("truncated snapshot not detected")
+	}
+
+	// Wrong magic and unsupported version.
+	mut := append([]byte(nil), clean...)
+	mut[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not detected: %v", err)
+	}
+	mut = append([]byte(nil), clean...)
+	mut[7] = 0x7f
+	if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version not detected: %v", err)
+	}
+}
+
+func TestSnapshotEmptyTable(t *testing.T) {
+	b := NewBuilder(8)
+	if _, err := b.AddColumn("only"); err != nil {
+		t.Fatal(err)
+	}
+	tbl := b.Build()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || len(got.Columns()) != 1 {
+		t.Fatalf("empty table round trip: %d rows, %v columns", got.NumRows(), got.Columns())
+	}
+}

@@ -187,8 +187,13 @@ func (e *Engine) RunWithTarget(q Query, target *histogram.Histogram, opts Option
 }
 
 // Run resolves the target under the plan and answers it with the
-// configured executor.
+// configured executor. Options are validated first (see Options.Validate),
+// so a malformed request fails with an *InvalidOptionsError before any
+// target resolution or sampling work starts.
 func (p *Plan) Run(t Target, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	target, err := p.ResolveTarget(t, opts.Workers)
 	if err != nil {
 		return nil, err
@@ -200,6 +205,9 @@ func (p *Plan) Run(t Target, opts Options) (*Result, error) {
 // The Plan is immutable: concurrent RunWithTarget calls on one Plan are
 // safe, each run owning its private sampler state.
 func (p *Plan) RunWithTarget(target *histogram.Histogram, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if target.Groups() != p.grp.groups() {
 		return nil, fmt.Errorf("engine: target has %d groups, query produces %d", target.Groups(), p.grp.groups())
 	}

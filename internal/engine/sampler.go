@@ -63,8 +63,9 @@ type IOStats struct {
 	Wraps int64
 }
 
-// add accumulates other into s.
-func (s *IOStats) add(other IOStats) {
+// Add accumulates other into s (used by per-worker merge and by serving
+// layers aggregating per-run stats).
+func (s *IOStats) Add(other IOStats) {
 	s.BlocksRead += other.BlocksRead
 	s.BlocksSkipped += other.BlocksSkipped
 	s.TuplesRead += other.TuplesRead

@@ -148,7 +148,7 @@ func (s *scanExec) run(only *bitmap.Bitset, keep int) ([]*histogram.Histogram, I
 	var io IOStats
 	var rows int64
 	for _, part := range parts {
-		io.add(part.io)
+		io.Add(part.io)
 		rows += part.rows
 		for i, h := range part.hists {
 			if h == nil {

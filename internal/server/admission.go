@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admission bounds the number of engine runs in flight with a semaphore.
+// Query execution is CPU- and memory-bound (per-run sampler state is
+// proportional to candidates × groups), so an unbounded accept loop would
+// let a traffic spike thrash the whole process; instead, requests beyond
+// the bound wait up to maxWait for a slot and are then rejected with 503,
+// which lets load balancers retry elsewhere. Cache hits bypass admission
+// entirely — they do no engine work.
+type admission struct {
+	sem      chan struct{}
+	maxWait  time.Duration
+	rejected atomic.Int64
+	inflight atomic.Int64
+}
+
+func newAdmission(limit int, maxWait time.Duration) *admission {
+	return &admission{sem: make(chan struct{}, limit), maxWait: maxWait}
+}
+
+// acquire claims a run slot, waiting up to maxWait; it returns false (and
+// counts a rejection) on timeout or client disconnect.
+func (a *admission) acquire(ctx context.Context) bool {
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return true
+	default:
+	}
+	if a.maxWait <= 0 {
+		a.rejected.Add(1)
+		return false
+	}
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return true
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	a.rejected.Add(1)
+	return false
+}
+
+// release frees a run slot.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.sem
+}
+
+// AdmissionStats is a point-in-time admission controller snapshot.
+type AdmissionStats struct {
+	// Limit is the concurrent-run bound; InFlight the current occupancy.
+	Limit    int   `json:"limit"`
+	InFlight int64 `json:"in_flight"`
+	// Rejected counts requests turned away with 503 since startup.
+	Rejected int64 `json:"rejected"`
+}
+
+// stats returns a snapshot of the admission counters.
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{Limit: cap(a.sem), InFlight: a.inflight.Load(), Rejected: a.rejected.Load()}
+}

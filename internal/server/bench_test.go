@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchServer builds a server over the fixture table once per benchmark.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s := New(Config{})
+	if err := s.RegisterTable("fixture", fixtureTable(b)); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// serve pushes one request through the handler without a TCP stack.
+func serve(b *testing.B, s *Server, body []byte) *httptest.ResponseRecorder {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec
+}
+
+// BenchmarkServerQuery measures the full request path: JSON decode,
+// fingerprint, caches, admission, engine run, JSON encode.
+//
+// Cold varies the seed every iteration so the result cache always misses
+// (the plan cache still hits — that is the steady state of a busy server
+// seeing many query instances of few query shapes). ResultCacheHit
+// repeats one request so only decode + lookup + encode remain.
+func BenchmarkServerQuery(b *testing.B) {
+	b.Run("Cold", func(b *testing.B) {
+		s := benchServer(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := baseRequest(int64(i), "scanmatch")
+			body, err := json.Marshal(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			serve(b, s, body)
+		}
+	})
+	b.Run("ResultCacheHit", func(b *testing.B) {
+		s := benchServer(b)
+		body, err := json.Marshal(baseRequest(1, "scanmatch"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		serve(b, s, body) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := serve(b, s, body)
+			if i == 0 && !bytes.Contains(rec.Body.Bytes(), []byte(`"cached":true`)) {
+				b.Fatal("expected a result-cache hit")
+			}
+		}
+	})
+	b.Run("ColdScan", func(b *testing.B) {
+		// Exact-scan baseline: what a cache miss costs without sampling
+		// termination, for comparison against ScanMatch above.
+		s := benchServer(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := baseRequest(int64(i), "scan")
+			body, err := json.Marshal(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			serve(b, s, body)
+		}
+	})
+}
+
+// BenchmarkServerConcurrent drives the handler from parallel goroutines
+// with a small set of distinct requests — the mixed cache-hit/miss load a
+// real deployment sees.
+func BenchmarkServerConcurrent(b *testing.B) {
+	s := benchServer(b)
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		var err error
+		if bodies[i], err = json.Marshal(baseRequest(int64(i), "scanmatch")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(bodies[i%len(bodies)]))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				panic(fmt.Sprintf("status %d", rec.Code))
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fastmatch/internal/engine"
+)
+
+// maxRequestBody bounds query/admin bodies; matching requests are small.
+const maxRequestBody = 1 << 20
+
+// routes installs the /v1 API on the server's mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	if s.cfg.EnableAdmin {
+		s.mux.HandleFunc("POST /v1/admin/load", s.handleAdminLoad)
+	}
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes an ErrorResponse.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Tables   int    `json:"tables"`
+	UptimeNS int64  `json:"uptime_ns"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Tables:   s.reg.count(),
+		UptimeNS: int64(time.Since(s.started)),
+	})
+}
+
+// TablesResponse is the body of GET /v1/tables.
+type TablesResponse struct {
+	Tables []TableInfo `json:"tables"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, TablesResponse{Tables: s.reg.list()})
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeNS    int64                   `json:"uptime_ns"`
+	Tables      map[string]TableMetrics `json:"tables"`
+	PlanCache   CacheStats              `json:"plan_cache"`
+	ResultCache CacheStats              `json:"result_cache"`
+	Admission   AdmissionStats          `json:"admission"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeNS:    int64(time.Since(s.started)),
+		Tables:      s.reg.metricsSnapshot(),
+		PlanCache:   s.plans.Stats(),
+		ResultCache: s.results.Stats(),
+		Admission:   s.adm.stats(),
+	})
+}
+
+func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
+	var spec TableSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding table spec: %v", err)
+		return
+	}
+	if err := s.reg.load(spec); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TablesResponse{Tables: s.reg.list()})
+}
+
+// wireResponse is the body of a successful POST /v1/query. The result
+// payload is kept as raw JSON (the ResultPayload bytes) so cached and
+// live paths emit byte-identical result bytes.
+type wireResponse struct {
+	Table string `json:"table"`
+	// Cached reports a result-cache hit.
+	Cached bool `json:"cached"`
+	// DurationNS is this request's server-side wall time (for a cached
+	// response, the lookup time — not the original run's).
+	DurationNS int64 `json:"duration_ns"`
+	// Result is the deterministic result payload (ResultPayload).
+	Result json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	began := time.Now()
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding query request: %v", err)
+		return
+	}
+	entry, ok := s.reg.get(req.Table)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no table %q (see /v1/tables)", req.Table)
+		return
+	}
+	fail := func(status int, format string, args ...any) {
+		entry.metrics.observe(time.Since(began), nil, true, false, false)
+		writeError(w, status, format, args...)
+	}
+
+	q, err := req.Query.toQuery()
+	if err != nil {
+		fail(http.StatusUnprocessableEntity, "invalid query: %v", err)
+		return
+	}
+	opts := engine.DefaultOptions(entry.eng.Table().NumRows())
+	if err := req.Options.apply(&opts); err != nil {
+		fail(http.StatusUnprocessableEntity, "invalid options: %v", err)
+		return
+	}
+	if err := opts.Validate(); err != nil {
+		fail(http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	target := req.Target.toTarget()
+
+	// Wire queries never carry closures, so the fingerprint always exists.
+	qfp, err := q.Fingerprint()
+	if err != nil {
+		fail(http.StatusUnprocessableEntity, "invalid query: %v", err)
+		return
+	}
+	planKey := req.Table + "\x00" + qfp
+	resultKey := planKey + "\x00" + target.Fingerprint() + "\x00" + opts.Fingerprint()
+
+	// Result cache: seeded runs are deterministic (the async FastMatch
+	// executor aside, where a cached answer is still one valid (ε, δ)
+	// answer), so a fingerprint hit can skip the engine entirely.
+	if payload, ok := s.results.Get(resultKey); ok {
+		entry.metrics.observe(time.Since(began), nil, false, false, true)
+		writeJSON(w, http.StatusOK, wireResponse{
+			Table:      req.Table,
+			Cached:     true,
+			DurationNS: int64(time.Since(began)),
+			Result:     json.RawMessage(payload),
+		})
+		return
+	}
+
+	// Admission: bound concurrent engine runs.
+	if !s.adm.acquire(r.Context()) {
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusServiceUnavailable, "server at capacity (%d runs in flight)", s.cfg.MaxConcurrent)
+		return
+	}
+	defer s.adm.release()
+	if s.testHookRunning != nil {
+		s.testHookRunning()
+	}
+
+	// Plan cache: equal query fingerprints share a resolved Plan.
+	plan, planHit := s.plans.Get(planKey)
+	if !planHit {
+		plan, err = entry.eng.Prepare(q)
+		if err != nil {
+			fail(http.StatusUnprocessableEntity, "planning query: %v", err)
+			return
+		}
+		s.plans.Put(planKey, plan)
+	}
+
+	res, err := plan.Run(target, opts)
+	if err != nil {
+		var ioe *engine.InvalidOptionsError
+		switch {
+		case errors.As(err, &ioe):
+			fail(http.StatusUnprocessableEntity, "%v", err)
+		default:
+			// Target resolution and run errors are request-shaped too
+			// (unknown candidate, group-count mismatch, …).
+			fail(http.StatusUnprocessableEntity, "running query: %v", err)
+		}
+		return
+	}
+
+	payload, err := json.Marshal(toPayload(res))
+	if err != nil {
+		fail(http.StatusInternalServerError, "encoding result: %v", err)
+		return
+	}
+	s.results.Put(resultKey, payload)
+	entry.metrics.observe(time.Since(began), res, false, planHit, false)
+	writeJSON(w, http.StatusOK, wireResponse{
+		Table:      req.Table,
+		Cached:     false,
+		DurationNS: int64(time.Since(began)),
+		Result:     json.RawMessage(payload),
+	})
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"fastmatch/internal/engine"
+)
+
+// latencyWindow is how many recent request latencies each table keeps for
+// quantile estimation. A fixed ring keeps the memory bound and weights the
+// quantiles toward current behavior, which is what an operator watching
+// /v1/stats wants.
+const latencyWindow = 1024
+
+// tableMetrics accumulates per-table serving statistics. One instance per
+// registry entry; all methods are safe for concurrent use.
+type tableMetrics struct {
+	mu        sync.Mutex
+	requests  int64
+	errors    int64
+	planHits  int64
+	planMiss  int64
+	resHits   int64
+	resMiss   int64
+	io        engine.IOStats
+	samples   int64
+	latencies [latencyWindow]time.Duration
+	latCount  int // total observations (ring index = latCount % window)
+}
+
+// observe records one completed query request. res is nil for cache hits
+// and for failed requests.
+func (m *tableMetrics) observe(d time.Duration, res *engine.Result, failed, planHit, resultHit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if failed {
+		m.errors++
+	} else if resultHit {
+		m.resHits++
+	} else {
+		m.resMiss++
+		if planHit {
+			m.planHits++
+		} else {
+			m.planMiss++
+		}
+	}
+	if res != nil {
+		m.io.Add(res.IO)
+		m.samples += res.Stats.TotalSamples()
+	}
+	m.latencies[m.latCount%latencyWindow] = d
+	m.latCount++
+}
+
+// TableMetrics is the JSON form of one table's serving statistics,
+// surfaced by /v1/stats.
+type TableMetrics struct {
+	// Requests counts /v1/query requests for the table; Errors the subset
+	// that failed.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// ResultCacheHits/Misses count whole-result reuse; plan counters only
+	// cover result-cache misses (hits never consult the plan cache).
+	ResultCacheHits   int64 `json:"result_cache_hits"`
+	ResultCacheMisses int64 `json:"result_cache_misses"`
+	PlanCacheHits     int64 `json:"plan_cache_hits"`
+	PlanCacheMisses   int64 `json:"plan_cache_misses"`
+	// IO aggregates engine I/O counters across all executed runs.
+	IO engine.IOStats `json:"io"`
+	// SamplesDrawn aggregates HistSim tuples consumed across runs.
+	SamplesDrawn int64 `json:"samples_drawn"`
+	// LatencyMS holds quantiles over the most recent requests.
+	LatencyMS LatencyQuantiles `json:"latency_ms"`
+}
+
+// LatencyQuantiles summarizes the recent-latency window in milliseconds.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+	// Window is the number of observations the quantiles are over.
+	Window int `json:"window"`
+}
+
+// snapshot returns a consistent copy of the metrics.
+func (m *tableMetrics) snapshot() TableMetrics {
+	m.mu.Lock()
+	n := m.latCount
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	lats := make([]time.Duration, n)
+	copy(lats, m.latencies[:n])
+	out := TableMetrics{
+		Requests:          m.requests,
+		Errors:            m.errors,
+		ResultCacheHits:   m.resHits,
+		ResultCacheMisses: m.resMiss,
+		PlanCacheHits:     m.planHits,
+		PlanCacheMisses:   m.planMiss,
+		IO:                m.io,
+		SamplesDrawn:      m.samples,
+	}
+	m.mu.Unlock()
+	if n > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		quantile := func(q float64) float64 {
+			i := int(q * float64(n-1))
+			return ms(lats[i])
+		}
+		out.LatencyMS = LatencyQuantiles{
+			P50:    quantile(0.50),
+			P90:    quantile(0.90),
+			P99:    quantile(0.99),
+			Max:    ms(lats[n-1]),
+			Window: n,
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/engine"
+)
+
+// TableSpec describes one dataset to load into the registry: from CSV
+// (parsed and optionally shuffled) or from a binary snapshot (block layout
+// preserved exactly; see colstore.WriteSnapshot). It doubles as the body
+// of POST /v1/admin/load.
+type TableSpec struct {
+	// Name registers the table for /v1/query requests.
+	Name string `json:"name"`
+	// Path locates the data file.
+	Path string `json:"path"`
+	// Format is "csv" or "snapshot"; empty infers from the extension
+	// (.fms/.snap/.snapshot → snapshot, anything else → csv).
+	Format string `json:"format,omitempty"`
+	// Measures lists CSV header names to load as numeric measure columns
+	// (ignored for snapshots, which carry their own schema).
+	Measures []string `json:"measures,omitempty"`
+	// BlockSize overrides the CSV table's block granularity (≤ 0 default).
+	BlockSize int `json:"block_size,omitempty"`
+	// ShuffleSeed shuffles CSV rows after loading so sequential scans are
+	// uniform samples. Nil selects seed 1: an unshuffled table would
+	// silently break the sampling executors' statistical guarantees, so
+	// opting out (pointer to a negative value) is explicit.
+	ShuffleSeed *int64 `json:"shuffle_seed,omitempty"`
+}
+
+// TableInfo describes one registered table, as listed by /v1/tables.
+type TableInfo struct {
+	Name      string `json:"name"`
+	Rows      int    `json:"rows"`
+	Blocks    int    `json:"blocks"`
+	BlockSize int    `json:"block_size"`
+	// Columns lists categorical columns with their cardinalities.
+	Columns []ColumnInfo `json:"columns"`
+	// Source is the file the table was loaded from ("(in-memory)" for
+	// tables registered programmatically).
+	Source   string    `json:"source"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// ColumnInfo pairs a categorical column name with its cardinality.
+type ColumnInfo struct {
+	Name        string `json:"name"`
+	Cardinality int    `json:"cardinality"`
+}
+
+// tableEntry is one registered table: the shared engine plus its metrics.
+type tableEntry struct {
+	name     string
+	source   string
+	eng      *engine.Engine
+	metrics  *tableMetrics
+	loadedAt time.Time
+}
+
+// registry holds the named tables a server can answer queries over. One
+// Engine per table is shared by all requests (the engine is concurrent-
+// safe); the registry itself allows concurrent lookups during admin loads.
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]*tableEntry
+}
+
+func newRegistry() *registry {
+	return &registry{entries: make(map[string]*tableEntry)}
+}
+
+// register installs a table under a name. Re-registering a name is an
+// error: swapping a live table out from under in-flight queries (and
+// under cached plans) needs a versioning scheme, not a silent overwrite.
+func (r *registry) register(name, source string, tbl *colstore.Table) error {
+	if name == "" {
+		return fmt.Errorf("server: table name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("server: table %q already registered", name)
+	}
+	r.entries[name] = &tableEntry{
+		name:     name,
+		source:   source,
+		eng:      engine.New(tbl),
+		metrics:  &tableMetrics{},
+		loadedAt: time.Now(),
+	}
+	return nil
+}
+
+// load reads the spec's file and registers the resulting table.
+func (r *registry) load(spec TableSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("server: table spec needs a name")
+	}
+	if spec.Path == "" {
+		return fmt.Errorf("server: table %q needs a path", spec.Name)
+	}
+	format := spec.Format
+	if format == "" {
+		switch strings.ToLower(filepath.Ext(spec.Path)) {
+		case ".fms", ".snap", ".snapshot":
+			format = "snapshot"
+		default:
+			format = "csv"
+		}
+	}
+	var tbl *colstore.Table
+	var err error
+	switch format {
+	case "snapshot":
+		tbl, err = colstore.ReadSnapshotFile(spec.Path)
+	case "csv":
+		var f *os.File
+		if f, err = os.Open(spec.Path); err != nil {
+			break
+		}
+		seed := int64(1)
+		if spec.ShuffleSeed != nil {
+			seed = *spec.ShuffleSeed
+		}
+		opts := colstore.CSVOptions{
+			BlockSize:   spec.BlockSize,
+			Measures:    spec.Measures,
+			DropInvalid: true,
+		}
+		if seed >= 0 {
+			opts.ShuffleSeed = &seed
+		}
+		tbl, err = colstore.ReadCSV(f, opts)
+		f.Close()
+	default:
+		return fmt.Errorf("server: table %q: unknown format %q (want csv or snapshot)", spec.Name, format)
+	}
+	if err != nil {
+		return fmt.Errorf("server: loading table %q from %s: %w", spec.Name, spec.Path, err)
+	}
+	return r.register(spec.Name, spec.Path, tbl)
+}
+
+// count returns the number of registered tables.
+func (r *registry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// get returns the entry for a table name.
+func (r *registry) get(name string) (*tableEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// list returns info for all registered tables, name-sorted.
+func (r *registry) list() []TableInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]TableInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		tbl := e.eng.Table()
+		info := TableInfo{
+			Name:      e.name,
+			Rows:      tbl.NumRows(),
+			Blocks:    tbl.NumBlocks(),
+			BlockSize: tbl.BlockSize(),
+			Source:    e.source,
+			LoadedAt:  e.loadedAt,
+		}
+		for _, cn := range tbl.Columns() {
+			col, err := tbl.Column(cn)
+			if err != nil {
+				continue
+			}
+			info.Columns = append(info.Columns, ColumnInfo{Name: cn, Cardinality: col.Cardinality()})
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// metricsSnapshot returns per-table metrics, name-keyed.
+func (r *registry) metricsSnapshot() map[string]TableMetrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]TableMetrics, len(r.entries))
+	for name, e := range r.entries {
+		out[name] = e.metrics.snapshot()
+	}
+	return out
+}

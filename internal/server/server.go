@@ -1,0 +1,114 @@
+// Package server implements fastmatchd's query-serving subsystem: a
+// multi-table registry (one shared, concurrent-safe Engine per dataset), a
+// JSON-over-HTTP query API, an LRU plan cache reusing Engine.Prepare
+// output across requests, an LRU result cache exploiting seeded-run
+// determinism, a semaphore-based admission controller bounding concurrent
+// engine runs, and per-table serving metrics.
+//
+// Endpoints:
+//
+//	POST /v1/query       answer a top-k histogram matching query
+//	GET  /v1/tables      list registered tables and their schemas
+//	GET  /v1/healthz     liveness probe
+//	GET  /v1/stats       per-table metrics, cache and admission counters
+//	POST /v1/admin/load  load another table from disk (if enabled)
+//
+// The package is transport-thin by design: everything interesting —
+// planning, sampling, guarantees — lives in internal/engine, and the
+// server only adds naming, reuse, and back-pressure.
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/engine"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a sensible default applied by New.
+type Config struct {
+	// MaxConcurrent bounds simultaneous engine runs; ≤ 0 selects
+	// 2×GOMAXPROCS. Requests beyond the bound wait up to MaxWait and are
+	// then rejected with 503 (cache hits bypass admission).
+	MaxConcurrent int
+	// MaxWait is how long an admitted-over-capacity request may wait for
+	// a run slot; < 0 means reject immediately, 0 selects 2s.
+	MaxWait time.Duration
+	// PlanCacheSize bounds the plan cache (entries are resolved
+	// query-shape plans, keyed per table); 0 selects 256, < 0 disables.
+	PlanCacheSize int
+	// ResultCacheSize bounds the result cache (entries are encoded result
+	// payloads keyed by the full request fingerprint); 0 selects 1024,
+	// < 0 disables.
+	ResultCacheSize int
+	// EnableAdmin exposes POST /v1/admin/load, letting clients load
+	// arbitrary file paths readable by the process — leave off unless the
+	// daemon is trusted-network only.
+	EnableAdmin bool
+}
+
+// Server serves FastMatch queries over registered tables. Create with
+// New, add tables with LoadTable/RegisterTable, and expose Handler on an
+// http.Server. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	reg     *registry
+	plans   *lruCache[string, *engine.Plan]
+	results *lruCache[string, []byte]
+	adm     *admission
+	mux     *http.ServeMux
+	started time.Time
+
+	// testHookRunning, when set, is invoked while a query request holds
+	// its admission slot — lets tests park a request deterministically.
+	testHookRunning func()
+}
+
+// New creates a Server from the config (zero value OK).
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.MaxWait < 0:
+		cfg.MaxWait = 0
+	case cfg.MaxWait == 0:
+		cfg.MaxWait = 2 * time.Second
+	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = 256
+	}
+	if cfg.ResultCacheSize == 0 {
+		cfg.ResultCacheSize = 1024
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     newRegistry(),
+		plans:   newLRUCache[string, *engine.Plan](cfg.PlanCacheSize),
+		results: newLRUCache[string, []byte](cfg.ResultCacheSize),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxWait),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// LoadTable loads a dataset from disk (CSV or snapshot, per the spec) and
+// registers it.
+func (s *Server) LoadTable(spec TableSpec) error { return s.reg.load(spec) }
+
+// RegisterTable registers an already-built in-memory table — the
+// embedding path for programs that construct tables with a Builder.
+func (s *Server) RegisterTable(name string, tbl *colstore.Table) error {
+	return s.reg.register(name, "(in-memory)", tbl)
+}
+
+// Tables lists the registered tables.
+func (s *Server) Tables() []TableInfo { return s.reg.list() }
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }

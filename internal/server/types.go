@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+
+	"fastmatch/internal/colstore"
+	"fastmatch/internal/engine"
+	"fastmatch/internal/histogram"
+)
+
+// The wire types of the /v1/query API. Requests map one-to-one onto
+// engine.Query / engine.Target / engine.Options; responses carry a fully
+// deterministic result payload (everything the engine computes, minus
+// wall-clock duration) so that identical seeded requests — served live or
+// from the result cache — are byte-identical.
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Table names a registered table.
+	Table string `json:"table"`
+	// Query is the histogram-generating query template.
+	Query QuerySpec `json:"query"`
+	// Target specifies the visual target.
+	Target TargetSpec `json:"target"`
+	// Options overrides individual defaults; omitted fields keep
+	// DefaultOptions values scaled to the table size.
+	Options *OptionsSpec `json:"options,omitempty"`
+}
+
+// QuerySpec mirrors engine.Query for JSON transport. Filter closures and
+// predicate candidates have no JSON form and are intentionally absent.
+type QuerySpec struct {
+	// Z names the candidate attribute.
+	Z string `json:"z"`
+	// KnownCandidates restricts the candidate domain (Appendix A.1.5).
+	KnownCandidates []string `json:"known_candidates,omitempty"`
+	// X names the grouping attribute(s).
+	X []string `json:"x,omitempty"`
+	// XMeasure with XBins groups by binning a continuous measure.
+	XMeasure string    `json:"x_measure,omitempty"`
+	XBins    *BinsSpec `json:"x_bins,omitempty"`
+}
+
+// BinsSpec describes histogram bins: either N uniform bins over [Lo, Hi]
+// or explicit strictly-increasing Edges.
+type BinsSpec struct {
+	Lo    float64   `json:"lo,omitempty"`
+	Hi    float64   `json:"hi,omitempty"`
+	N     int       `json:"n,omitempty"`
+	Edges []float64 `json:"edges,omitempty"`
+}
+
+// TargetSpec mirrors engine.Target.
+type TargetSpec struct {
+	Counts    []float64 `json:"counts,omitempty"`
+	Candidate string    `json:"candidate,omitempty"`
+	Uniform   bool      `json:"uniform,omitempty"`
+}
+
+// OptionsSpec carries per-request overrides of DefaultOptions. Pointer
+// fields distinguish "absent" from zero.
+type OptionsSpec struct {
+	K                  *int     `json:"k,omitempty"`
+	Epsilon            *float64 `json:"epsilon,omitempty"`
+	EpsilonReconstruct *float64 `json:"epsilon_reconstruct,omitempty"`
+	Delta              *float64 `json:"delta,omitempty"`
+	Sigma              *float64 `json:"sigma,omitempty"`
+	Stage1Samples      *int     `json:"stage1_samples,omitempty"`
+	// Metric is "l1" (default) or "l2".
+	Metric string `json:"metric,omitempty"`
+	// Executor is "scan", "parallelscan", "scanmatch", "syncmatch", or
+	// "fastmatch" (default).
+	Executor   string `json:"executor,omitempty"`
+	Lookahead  *int   `json:"lookahead,omitempty"`
+	StartBlock *int   `json:"start_block,omitempty"`
+	// Seed fixes the run's random start block; identical seeded requests
+	// produce identical results (and hit the result cache).
+	Seed    *int64 `json:"seed,omitempty"`
+	Workers *int   `json:"workers,omitempty"`
+}
+
+// ResultPayload is the JSON form of engine.Result, minus wall-clock
+// duration: every field is a deterministic function of (table, query,
+// target, options), which is what makes whole-result caching sound.
+type ResultPayload struct {
+	TopK   []MatchPayload `json:"topk"`
+	Pruned []string       `json:"pruned,omitempty"`
+	Exact  bool           `json:"exact"`
+	Stats  StatsPayload   `json:"stats"`
+	IO     engine.IOStats `json:"io"`
+	// GroupLabels names the histogram groups, aligned with the Histogram
+	// vectors in TopK.
+	GroupLabels []string `json:"group_labels"`
+}
+
+// MatchPayload is the JSON form of engine.Match.
+type MatchPayload struct {
+	ID       int     `json:"id"`
+	Label    string  `json:"label"`
+	Distance float64 `json:"distance"`
+	// Histogram is the reconstructed per-group counts.
+	Histogram []float64 `json:"histogram,omitempty"`
+}
+
+// StatsPayload is the JSON form of core.RunStats (per-round diagnostics
+// elided — /v1/query is a serving API, not a debugging one).
+type StatsPayload struct {
+	SamplesStage1    int64 `json:"samples_stage1"`
+	SamplesStage2    int64 `json:"samples_stage2"`
+	SamplesStage3    int64 `json:"samples_stage3"`
+	Rounds           int   `json:"rounds"`
+	PrunedCandidates int   `json:"pruned_candidates"`
+	ChosenK          int   `json:"chosen_k"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toPayload converts an engine result into its deterministic wire form.
+func toPayload(res *engine.Result) ResultPayload {
+	out := ResultPayload{
+		Exact: res.Exact,
+		Stats: StatsPayload{
+			SamplesStage1:    res.Stats.SamplesStage1,
+			SamplesStage2:    res.Stats.SamplesStage2,
+			SamplesStage3:    res.Stats.SamplesStage3,
+			Rounds:           res.Stats.Rounds,
+			PrunedCandidates: res.Stats.PrunedCandidates,
+			ChosenK:          res.Stats.ChosenK,
+		},
+		IO:          res.IO,
+		GroupLabels: res.GroupLabels,
+		Pruned:      res.Pruned,
+	}
+	out.TopK = make([]MatchPayload, len(res.TopK))
+	for i, m := range res.TopK {
+		mp := MatchPayload{ID: m.ID, Label: m.Label, Distance: m.Distance}
+		if m.Histogram != nil {
+			mp.Histogram = m.Histogram.Counts()
+		}
+		out.TopK[i] = mp
+	}
+	return out
+}
+
+// toQuery compiles the wire query into an engine query.
+func (qs QuerySpec) toQuery() (engine.Query, error) {
+	q := engine.Query{
+		Z:               qs.Z,
+		KnownCandidates: qs.KnownCandidates,
+		X:               qs.X,
+		XMeasure:        qs.XMeasure,
+	}
+	if qs.XBins != nil {
+		binner, err := qs.XBins.toBinner()
+		if err != nil {
+			return engine.Query{}, err
+		}
+		q.XBins = binner
+	}
+	return q, nil
+}
+
+// toBinner compiles a bins spec.
+func (bs BinsSpec) toBinner() (*colstore.Binner, error) {
+	if len(bs.Edges) > 0 {
+		if bs.N != 0 || bs.Lo != 0 || bs.Hi != 0 {
+			return nil, fmt.Errorf("x_bins: give either edges or lo/hi/n, not both")
+		}
+		return colstore.NewBinner(bs.Edges)
+	}
+	return colstore.NewUniformBinner(bs.Lo, bs.Hi, bs.N)
+}
+
+// toTarget compiles the wire target.
+func (ts TargetSpec) toTarget() engine.Target {
+	return engine.Target{Counts: ts.Counts, Candidate: ts.Candidate, Uniform: ts.Uniform}
+}
+
+// apply overlays the spec's set fields onto opts.
+func (os *OptionsSpec) apply(opts *engine.Options) error {
+	if os == nil {
+		return nil
+	}
+	if os.K != nil {
+		opts.Params.K = *os.K
+	}
+	if os.Epsilon != nil {
+		opts.Params.Epsilon = *os.Epsilon
+	}
+	if os.EpsilonReconstruct != nil {
+		opts.Params.EpsilonReconstruct = *os.EpsilonReconstruct
+	}
+	if os.Delta != nil {
+		opts.Params.Delta = *os.Delta
+	}
+	if os.Sigma != nil {
+		opts.Params.Sigma = *os.Sigma
+	}
+	if os.Stage1Samples != nil {
+		opts.Params.Stage1Samples = *os.Stage1Samples
+	}
+	if os.Metric != "" {
+		m, err := histogram.ParseMetric(os.Metric)
+		if err != nil {
+			return err
+		}
+		opts.Params.Metric = m
+	}
+	if os.Executor != "" {
+		exec, err := parseExecutor(os.Executor)
+		if err != nil {
+			return err
+		}
+		opts.Executor = exec
+	}
+	if os.Lookahead != nil {
+		opts.Lookahead = *os.Lookahead
+	}
+	if os.StartBlock != nil {
+		opts.StartBlock = *os.StartBlock
+	}
+	if os.Seed != nil {
+		opts.Seed = *os.Seed
+	}
+	if os.Workers != nil {
+		opts.Workers = *os.Workers
+	}
+	return nil
+}
+
+// parseExecutor maps wire executor names onto engine executors.
+func parseExecutor(s string) (engine.Executor, error) {
+	switch s {
+	case "scan":
+		return engine.Scan, nil
+	case "parallelscan":
+		return engine.ParallelScan, nil
+	case "scanmatch":
+		return engine.ScanMatch, nil
+	case "syncmatch":
+		return engine.SyncMatch, nil
+	case "fastmatch":
+		return engine.FastMatch, nil
+	}
+	return 0, fmt.Errorf("unknown executor %q (want scan, parallelscan, scanmatch, syncmatch, or fastmatch)", s)
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Server smoke test: generate a dataset, cold-start fastmatchd from a
+# binary snapshot, run scripted queries, and assert on the responses.
+# Used by CI and runnable locally: ./scripts/server_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$TMP/datagen" ./cmd/datagen
+go build -o "$TMP/fastmatchd" ./cmd/fastmatchd
+
+echo "== generating flights dataset + snapshot"
+"$TMP/datagen" -dataset flights -rows 100000 -out "" -snapshot "$TMP/flights.fms"
+
+echo "== starting fastmatchd"
+"$TMP/fastmatchd" -listen "127.0.0.1:${PORT}" -table "flights=$TMP/flights.fms" &
+PID=$!
+
+for i in $(seq 1 100); do
+  if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then echo "fastmatchd died during startup" >&2; exit 1; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/v1/healthz" | grep -q '"status":"ok"' || { echo "healthz not ok" >&2; exit 1; }
+
+echo "== /v1/tables lists the dataset"
+TABLES="$(curl -fsS "$BASE/v1/tables")"
+echo "$TABLES" | grep -q '"name":"flights"' || { echo "flights table missing: $TABLES" >&2; exit 1; }
+echo "$TABLES" | grep -q '"rows":100000'   || { echo "wrong row count: $TABLES" >&2; exit 1; }
+
+QUERY='{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scanmatch","epsilon":0.1,"seed":7}}'
+
+echo "== scripted query returns a top-k answer"
+R1="$(curl -fsS -X POST "$BASE/v1/query" -d "$QUERY")"
+echo "$R1" | grep -q '"topk":\[{"id":'   || { echo "no topk in: $R1" >&2; exit 1; }
+echo "$R1" | grep -q '"label":"Origin_' || { echo "no candidate labels in: $R1" >&2; exit 1; }
+echo "$R1" | grep -q '"cached":false'   || { echo "first query unexpectedly cached: $R1" >&2; exit 1; }
+
+echo "== identical query hits the result cache with identical payload"
+R2="$(curl -fsS -X POST "$BASE/v1/query" -d "$QUERY")"
+echo "$R2" | grep -q '"cached":true' || { echo "second query not cached: $R2" >&2; exit 1; }
+P1="$(printf '%s' "$R1" | sed 's/.*"result"://')"
+P2="$(printf '%s' "$R2" | sed 's/.*"result"://')"
+[ "$P1" = "$P2" ] || { echo "cached payload differs from live payload" >&2; exit 1; }
+
+echo "== /v1/stats reports the cache hit"
+STATS="$(curl -fsS "$BASE/v1/stats")"
+echo "$STATS" | grep -q '"result_cache_hits":1' || { echo "stats missing cache hit: $STATS" >&2; exit 1; }
+
+echo "== malformed requests are rejected cleanly"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/query" -d '{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"epsilon":-1}}')"
+[ "$CODE" = "422" ] || { echo "invalid epsilon returned $CODE, want 422" >&2; exit 1; }
+curl -fsS "$BASE/v1/healthz" >/dev/null || { echo "server unhealthy after bad request" >&2; exit 1; }
+
+echo "server smoke OK"
