@@ -11,6 +11,9 @@
 // -snapshot additionally writes the built table as a binary snapshot
 // (see internal/colstore: WriteSnapshot) that fastmatchd can cold-start
 // from without CSV re-parsing; pass -out "" to skip the CSV entirely.
+// Snapshots are written in format v2 (8-byte-aligned sections, mmap-able
+// zero-copy with -table name=path?backend=mmap); -snapshot-format 1
+// writes the legacy unaligned v1 layout for older readers.
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "-", "CSV output path (- for stdout, empty to skip CSV)")
 	snapshot := flag.String("snapshot", "", "also write a binary table snapshot to this path")
+	snapshotFormat := flag.Int("snapshot-format", colstore.CurrentSnapshotVersion,
+		"snapshot format version (2 = aligned/mmap-able, 1 = legacy)")
 	summary := flag.Bool("summary", false, "print per-column summaries to stderr")
 	flag.Parse()
 
@@ -49,10 +54,10 @@ func main() {
 		}
 	}
 	if *snapshot != "" {
-		if err := colstore.WriteSnapshotFile(ds.Table, *snapshot); err != nil {
+		if err := colstore.WriteSnapshotFileVersion(ds.Table, *snapshot, *snapshotFormat); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *snapshot)
+		fmt.Fprintf(os.Stderr, "snapshot (v%d) written to %s\n", *snapshotFormat, *snapshot)
 	}
 	if *out == "" {
 		return

@@ -8,6 +8,9 @@
 //	go run ./cmd/datagen -dataset flights -rows 500000 -out "" -snapshot flights.fms
 //	go run ./cmd/fastmatchd -listen :8080 -table flights=flights.fms
 //
+//	# zero-copy mmap backend: near-instant cold start, OS-managed residency
+//	go run ./cmd/fastmatchd -listen :8080 -table "flights=flights.fms?backend=mmap"
+//
 //	curl -s localhost:8080/v1/tables
 //	curl -s -X POST localhost:8080/v1/query -d '{
 //	    "table": "flights",
@@ -18,7 +21,9 @@
 //
 // -table name=path is repeatable; .fms/.snap/.snapshot paths load as
 // binary snapshots (fast cold start, layout preserved), everything else
-// as CSV. CSV measure columns are named with -measures table:col1,col2.
+// as CSV. A path may carry ?backend=mmap (snapshots only) to serve the
+// table zero-copy from a file mapping instead of materializing it on the
+// heap. CSV measure columns are named with -measures table:col1,col2.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -47,12 +53,26 @@ func main() {
 	shuffleSeed := flag.Int64("shuffle-seed", 1, "row shuffle seed for CSV tables (negative = keep file order; snapshots always keep their layout)")
 
 	var tables []server.TableSpec
-	flag.Func("table", "dataset to serve, as name=path (repeatable)", func(v string) error {
+	flag.Func("table", "dataset to serve, as name=path or name=path?backend=mmap (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("want name=path, got %q", v)
 		}
-		tables = append(tables, server.TableSpec{Name: name, Path: path})
+		spec := server.TableSpec{Name: name, Path: path}
+		if base, rawOpts, hasOpts := strings.Cut(path, "?"); hasOpts {
+			opts, err := url.ParseQuery(rawOpts)
+			if err != nil {
+				return fmt.Errorf("table %q: parsing options %q: %v", name, rawOpts, err)
+			}
+			for k := range opts {
+				if k != "backend" {
+					return fmt.Errorf("table %q: unknown option %q (want backend)", name, k)
+				}
+			}
+			spec.Path = base
+			spec.Backend = opts.Get("backend")
+		}
+		tables = append(tables, spec)
 		return nil
 	})
 	measures := map[string][]string{}
@@ -88,8 +108,9 @@ func main() {
 		}
 		for _, info := range srv.Tables() {
 			if info.Name == spec.Name {
-				log.Printf("loaded table %q: %d rows, %d blocks (%s) in %v",
-					info.Name, info.Rows, info.Blocks, spec.Path, time.Since(began).Round(time.Millisecond))
+				log.Printf("loaded table %q: %d rows, %d blocks, backend %s (%s) in %v",
+					info.Name, info.Rows, info.Blocks, info.Storage.Backend, spec.Path,
+					time.Since(began).Round(time.Millisecond))
 			}
 		}
 	}

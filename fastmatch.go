@@ -36,10 +36,27 @@ import (
 )
 
 // Re-exported storage types: build tables with Builder, group continuous
-// attributes with Binner.
+// attributes with Binner. Reader is the pluggable-backend seam: every
+// engine layer consumes it, so a query runs identically over the
+// heap-resident Table, the zero-copy MmapTable, or any future backend.
 type (
-	// Table is an immutable block-structured column store relation.
+	// Reader is the backend-neutral block-granular storage interface the
+	// engine runs on. Slices returned through it alias backend storage
+	// and must be treated as read-only.
+	Reader = colstore.Reader
+	// ColumnReader is read access to one categorical column.
+	ColumnReader = colstore.ColumnReader
+	// MeasureReader is read access to one numeric measure column.
+	MeasureReader = colstore.MeasureReader
+	// Table is an immutable block-structured column store relation — the
+	// in-memory Reader backend.
 	Table = colstore.Table
+	// MmapTable is the zero-copy mmap snapshot backend (linux/darwin;
+	// heap fallback elsewhere and for v1 snapshots). Close it only after
+	// the last query over it has finished.
+	MmapTable = colstore.MmapTable
+	// StorageStats describes a Reader's backend and residency.
+	StorageStats = colstore.StorageStats
 	// Builder accumulates rows into a Table; call Shuffle before Build so
 	// sequential scans are uniform samples.
 	Builder = colstore.Builder
@@ -122,14 +139,23 @@ func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // WriteSnapshot serializes a table as a versioned binary snapshot that
 // loads without CSV re-parsing and preserves the block layout exactly
-// (see internal/colstore for the format).
+// (see internal/colstore for the format). Snapshots are written in
+// format v2: 8-byte-aligned sections that OpenMmap can serve in place.
 func WriteSnapshot(tbl *Table, path string) error { return colstore.WriteSnapshotFile(tbl, path) }
 
-// ReadSnapshot loads a table snapshot written by WriteSnapshot.
+// ReadSnapshot loads a table snapshot (any supported format version)
+// into memory, verifying its CRC.
 func ReadSnapshot(path string) (*Table, error) { return colstore.ReadSnapshotFile(path) }
 
-// NewEngine creates an engine over a table.
-func NewEngine(tbl *Table) *Engine { return engine.New(tbl) }
+// OpenMmap opens a snapshot with the zero-copy mmap backend: a v2
+// snapshot's column sections are served straight from read-only mapped
+// pages (~instant cold start, tables larger than RAM). V1 snapshots and
+// unsupported platforms transparently materialize in memory instead.
+func OpenMmap(path string) (*MmapTable, error) { return colstore.OpenMmapFile(path) }
+
+// NewEngine creates an engine over any storage backend (*Table,
+// *MmapTable, or a custom Reader).
+func NewEngine(src Reader) *Engine { return engine.New(src) }
 
 // NewBuilder creates a table builder with the given tuples-per-block
 // granularity (≤ 0 selects the default of 256).
@@ -146,9 +172,10 @@ func NewUniformBinner(lo, hi float64, n int) (*Binner, error) {
 func NewHistogram(counts []float64) *Histogram { return histogram.FromCounts(counts) }
 
 // MeasureBiasedView materializes the derived table that turns SUM(measure)
-// queries into COUNT queries (Appendix A.1.1).
-func MeasureBiasedView(tbl *Table, measure string, targetRows int, seed int64) (*Table, error) {
-	return engine.MeasureBiasedView(tbl, measure, targetRows, seed)
+// queries into COUNT queries (Appendix A.1.1). The source may be any
+// storage backend; the view is an in-memory Table.
+func MeasureBiasedView(src Reader, measure string, targetRows int, seed int64) (*Table, error) {
+	return engine.MeasureBiasedView(src, measure, targetRows, seed)
 }
 
 // DefaultOptions returns the paper's default configuration scaled to a

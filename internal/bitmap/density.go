@@ -17,19 +17,20 @@ type DensityMap struct {
 	blocks int
 }
 
-// BuildDensity scans the column and constructs its density map.
-func BuildDensity(tbl *colstore.Table, columnName string) (*DensityMap, error) {
-	col, err := tbl.Column(columnName)
+// BuildDensity scans the column and constructs its density map. Like
+// Build, it reads through the backend-neutral colstore.Reader interface.
+func BuildDensity(src colstore.Reader, columnName string) (*DensityMap, error) {
+	col, err := src.ColumnByName(columnName)
 	if err != nil {
 		return nil, err
 	}
-	nb := tbl.NumBlocks()
+	nb := src.NumBlocks()
 	dm := &DensityMap{counts: make([][]uint16, col.Cardinality()), blocks: nb}
 	for v := range dm.counts {
 		dm.counts[v] = make([]uint16, nb)
 	}
 	for b := 0; b < nb; b++ {
-		lo, hi := tbl.BlockSpan(b)
+		lo, hi := src.BlockSpan(b)
 		for _, code := range col.Codes(lo, hi) {
 			if dm.counts[code][b] < ^uint16(0) {
 				dm.counts[code][b]++

@@ -16,20 +16,21 @@ type Index struct {
 	blocks   int
 }
 
-// Build scans the column once and constructs its index against the table's
-// block layout.
-func Build(tbl *colstore.Table, columnName string) (*Index, error) {
-	col, err := tbl.Column(columnName)
+// Build scans the column once and constructs its index against the
+// source's block layout. It works over any storage backend (the Codes
+// slices are only read, per the colstore.Reader aliasing contract).
+func Build(src colstore.Reader, columnName string) (*Index, error) {
+	col, err := src.ColumnByName(columnName)
 	if err != nil {
 		return nil, err
 	}
-	nb := tbl.NumBlocks()
+	nb := src.NumBlocks()
 	idx := &Index{perValue: make([]*Bitset, col.Cardinality()), blocks: nb}
 	for v := range idx.perValue {
 		idx.perValue[v] = NewBitset(nb)
 	}
 	for b := 0; b < nb; b++ {
-		lo, hi := tbl.BlockSpan(b)
+		lo, hi := src.BlockSpan(b)
 		for _, code := range col.Codes(lo, hi) {
 			idx.perValue[code].Set(b)
 		}

@@ -1,0 +1,388 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Zero-copy mmap snapshot backend.
+//
+// OpenMmapFile maps a version-2 snapshot (see snapshot.go) and serves its
+// code and measure arrays straight out of the mapping: v2 aligns every
+// array to an 8-byte file offset, so on a little-endian host the mapped
+// bytes are reinterpreted as []uint32 / []float64 in place. Cold start is
+// therefore ~instant regardless of table size, residency is managed by
+// the OS page cache (tables larger than RAM work), and any number of
+// processes share one physical copy of the data.
+//
+// The mapping is PROT_READ: a write through an aliased Codes/Values slice
+// faults instead of silently corrupting shared pages, mechanically
+// enforcing the Reader aliasing contract.
+//
+// Trade-off: unlike ReadSnapshot, the mmap open does not verify the CRC
+// trailer (that would hash every page, including the large measure
+// arrays). It does validate everything the engine's memory safety
+// depends on: magic, version, structural bounds, alignment padding, and
+// the dictionary range of every code (an out-of-range code would later
+// index candidate/group arrays out of bounds inside executor
+// goroutines). The code scan pages in the uint32 arrays sequentially —
+// still O(ms) for millions of rows and far cheaper than a full
+// materialize — while measure pages stay untouched until queried. Open
+// with ReadSnapshotFile to fully verify a snapshot of doubtful
+// provenance.
+//
+// Fallback: on hosts without mmap support (see mmap_other.go), on
+// big-endian hosts, and for version-1 (unaligned) snapshots, OpenMmapFile
+// materializes the table on the heap via the verifying reader instead;
+// Storage() then reports backend "mmap-fallback".
+
+// hostLittleEndian reports whether reinterpreting file bytes as native
+// integers yields the snapshot's little-endian values.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// MmapTable is a Reader backed by a memory-mapped version-2 snapshot
+// (or, in fallback mode, by a heap-materialized copy). It is immutable
+// and safe for concurrent readers. Close unmaps the file; every slice
+// previously returned by Codes/Values is invalid afterwards, so only
+// close once no query can still be running.
+type MmapTable struct {
+	tbl      *Table
+	data     []byte // non-nil iff zero-copy mapped
+	path     string
+	fallback string // why the open fell back to the heap ("" when mapped)
+}
+
+// OpenMmapFile opens a snapshot with the mmap backend. Version-2
+// snapshots map zero-copy on little-endian linux/darwin hosts; anything
+// else falls back to a verified in-memory materialization.
+func OpenMmapFile(path string) (*MmapTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("colstore: reading snapshot magic: %w", err)
+	}
+	if !bytes.Equal(magic[:7], snapshotMagicPrefix[:]) {
+		return nil, fmt.Errorf("colstore: not a snapshot file (bad magic)")
+	}
+	version := int(magic[7])
+	if version != SnapshotV1 && version != SnapshotV2 {
+		return nil, fmt.Errorf("colstore: unsupported snapshot version %d (max %d)", version, CurrentSnapshotVersion)
+	}
+	reason := ""
+	switch {
+	case !mmapSupported:
+		reason = "mmap not supported on this platform"
+	case !hostLittleEndian:
+		reason = "big-endian host cannot reinterpret little-endian sections"
+	case version == SnapshotV1:
+		reason = "version-1 snapshot has unaligned sections"
+	}
+	if reason == "" {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if st.Size() > int64(int(^uint(0)>>1)) {
+			reason = "snapshot larger than the address space"
+		} else if data, err := mmapFile(f, int(st.Size())); err != nil {
+			reason = fmt.Sprintf("mmap failed: %v", err)
+		} else {
+			tbl, perr := parseMappedSnapshot(data)
+			if perr != nil {
+				_ = munmap(data)
+				return nil, perr
+			}
+			return &MmapTable{tbl: tbl, data: data, path: path}, nil
+		}
+	}
+	tbl, err := ReadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MmapTable{tbl: tbl, path: path, fallback: reason}, nil
+}
+
+// parseMappedSnapshot builds a Table whose code/value slices alias the
+// mapped snapshot bytes. Dictionaries and bookkeeping are heap-resident
+// (they are small); only the per-row arrays stay on mapped pages.
+//
+// Its validation must stay in lockstep with ReadSnapshot (snapshot.go):
+// everything the stream reader rejects structurally — bad dimensions,
+// duplicate names/values, nonzero padding, out-of-range codes — must be
+// rejected here too, so a snapshot is valid on one backend iff it is
+// valid on the other (only the CRC check differs; see the package
+// comment above).
+func parseMappedSnapshot(data []byte) (*Table, error) {
+	off := 8 // past the magic
+	corrupt := func(what string) error {
+		return fmt.Errorf("colstore: mmap snapshot: truncated or corrupt %s (offset %d)", what, off)
+	}
+	u32 := func(what string) (uint32, error) {
+		if off+4 > len(data) {
+			return 0, corrupt(what)
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	u64 := func(what string) (uint64, error) {
+		if off+8 > len(data) {
+			return 0, corrupt(what)
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v, nil
+	}
+	str := func(what string) (string, error) {
+		n, err := u32(what)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<24 || off+int(n) > len(data) {
+			return "", corrupt(what)
+		}
+		s := string(data[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+	pad8 := func() error {
+		aligned := (off + 7) &^ 7
+		if aligned > len(data) {
+			return corrupt("alignment padding")
+		}
+		for ; off < aligned; off++ {
+			if data[off] != 0 {
+				return fmt.Errorf("colstore: mmap snapshot: nonzero alignment padding at offset %d", off)
+			}
+		}
+		return nil
+	}
+	blockSize, err := u32("header")
+	if err != nil {
+		return nil, err
+	}
+	rows64, err := u64("header")
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := u32("header")
+	if err != nil {
+		return nil, err
+	}
+	nmeas, err := u32("header")
+	if err != nil {
+		return nil, err
+	}
+	if blockSize == 0 || blockSize > maxSnapshotDim {
+		return nil, fmt.Errorf("colstore: snapshot block size %d out of range", blockSize)
+	}
+	if rows64 > maxSnapshotDim {
+		return nil, fmt.Errorf("colstore: snapshot row count %d out of range", rows64)
+	}
+	if ncols > 1<<16 || nmeas > 1<<16 {
+		return nil, fmt.Errorf("colstore: snapshot declares %d columns, %d measures", ncols, nmeas)
+	}
+	rows := int(rows64)
+	if rows < 0 || uint64(rows) != rows64 {
+		// 32-bit hosts: the row count fits uint64 but not int.
+		return nil, fmt.Errorf("colstore: snapshot row count %d out of range", rows64)
+	}
+	tbl := &Table{
+		colByName: make(map[string]int, ncols),
+		measByID:  make(map[string]int, nmeas),
+		rows:      rows,
+		blockSize: int(blockSize),
+	}
+	for ci := 0; ci < int(ncols); ci++ {
+		name, err := str("column name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := tbl.colByName[name]; dup {
+			return nil, fmt.Errorf("colstore: snapshot has duplicate column %q", name)
+		}
+		dictLen, err := u32("dictionary")
+		if err != nil {
+			return nil, err
+		}
+		if dictLen > maxSnapshotDim {
+			return nil, fmt.Errorf("colstore: snapshot dictionary size %d out of range", dictLen)
+		}
+		dict := NewDictionary()
+		for i := 0; i < int(dictLen); i++ {
+			v, err := str("dictionary value")
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := dict.Code(v); dup {
+				return nil, fmt.Errorf("colstore: snapshot column %q has duplicate dictionary value %q", name, v)
+			}
+			dict.Intern(v)
+		}
+		if err := pad8(); err != nil {
+			return nil, err
+		}
+		// Division form: off+4*rows would overflow int on 32-bit hosts
+		// for a hostile header, silently passing the check.
+		if rows > 0 && (len(data)-off)/4 < rows {
+			return nil, corrupt("codes")
+		}
+		codes := castU32(data[off:], rows)
+		// Same check as the stream reader: an out-of-range code would
+		// later index candidate/group arrays out of bounds mid-query.
+		for i, code := range codes {
+			if code >= dictLen {
+				return nil, fmt.Errorf("colstore: snapshot column %q code %d out of range (dict size %d) at row %d", name, code, dictLen, i)
+			}
+		}
+		off += 4 * rows
+		tbl.colByName[name] = len(tbl.cols)
+		tbl.cols = append(tbl.cols, &Column{Name: name, Dict: dict, codes: codes})
+	}
+	for mi := 0; mi < int(nmeas); mi++ {
+		name, err := str("measure name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := tbl.measByID[name]; dup {
+			return nil, fmt.Errorf("colstore: snapshot has duplicate measure %q", name)
+		}
+		if err := pad8(); err != nil {
+			return nil, err
+		}
+		if rows > 0 && (len(data)-off)/8 < rows {
+			return nil, corrupt("measure values")
+		}
+		tbl.measByID[name] = len(tbl.measures)
+		tbl.measures = append(tbl.measures, &MeasureColumn{Name: name, values: castF64(data[off:], rows)})
+		off += 8 * rows
+	}
+	if off+4 > len(data) {
+		return nil, corrupt("CRC trailer")
+	}
+	return tbl, nil
+}
+
+// castU32 reinterprets the first 4n bytes of b as n little-endian
+// uint32s in place. b must be 4-byte aligned (v2 sections are 8-aligned
+// inside a page-aligned mapping) on a little-endian host.
+func castU32(b []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+}
+
+// castF64 reinterprets the first 8n bytes of b as n float64s in place.
+// Same alignment and endianness requirements as castU32.
+func castF64(b []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+}
+
+// NumRows implements Reader.
+func (mt *MmapTable) NumRows() int { return mt.tbl.NumRows() }
+
+// BlockSize implements Reader.
+func (mt *MmapTable) BlockSize() int { return mt.tbl.BlockSize() }
+
+// NumBlocks implements Reader.
+func (mt *MmapTable) NumBlocks() int { return mt.tbl.NumBlocks() }
+
+// BlockSpan implements Reader.
+func (mt *MmapTable) BlockSpan(b int) (lo, hi int) { return mt.tbl.BlockSpan(b) }
+
+// Columns implements Reader.
+func (mt *MmapTable) Columns() []string { return mt.tbl.Columns() }
+
+// ColumnByName implements Reader.
+func (mt *MmapTable) ColumnByName(name string) (ColumnReader, error) {
+	return mt.tbl.ColumnByName(name)
+}
+
+// MeasureNames implements Reader.
+func (mt *MmapTable) MeasureNames() []string { return mt.tbl.MeasureNames() }
+
+// MeasureByName implements Reader.
+func (mt *MmapTable) MeasureByName(name string) (MeasureReader, error) {
+	return mt.tbl.MeasureByName(name)
+}
+
+// Storage implements Reader: mapped bytes dominate, with only
+// dictionaries and bookkeeping on the heap (fallback mode is fully
+// heap-resident).
+func (mt *MmapTable) Storage() StorageStats {
+	if mt.data == nil {
+		return StorageStats{Backend: "mmap-fallback", HeapBytes: mt.tbl.heapBytes(true)}
+	}
+	return StorageStats{
+		Backend:     "mmap",
+		MappedBytes: int64(len(mt.data)),
+		HeapBytes:   mt.tbl.heapBytes(false),
+	}
+}
+
+// Path returns the snapshot file the table was opened from.
+func (mt *MmapTable) Path() string { return mt.path }
+
+// FallbackReason reports why a zero-copy mapping was not possible, or ""
+// when the table is mapped.
+func (mt *MmapTable) FallbackReason() string { return mt.fallback }
+
+// Close releases the file mapping. Every slice obtained through the
+// table beforehand becomes invalid; callers must ensure no query is in
+// flight. Close is idempotent and a no-op in fallback mode.
+func (mt *MmapTable) Close() error {
+	if mt.data == nil {
+		return nil
+	}
+	data := mt.data
+	mt.data = nil
+	return munmap(data)
+}
+
+// Materialize copies a mapped table fully onto the heap, detaching it
+// from the file (used when a caller wants to Close the mapping but keep
+// the data). Fallback-mode tables are already heap-resident.
+func (mt *MmapTable) Materialize() *Table {
+	if mt.data == nil {
+		return mt.tbl
+	}
+	out := &Table{
+		colByName: make(map[string]int, len(mt.tbl.cols)),
+		measByID:  make(map[string]int, len(mt.tbl.measures)),
+		rows:      mt.tbl.rows,
+		blockSize: mt.tbl.blockSize,
+	}
+	for i, c := range mt.tbl.cols {
+		out.colByName[c.Name] = i
+		out.cols = append(out.cols, &Column{
+			Name:  c.Name,
+			Dict:  c.Dict,
+			codes: append([]uint32(nil), c.codes...),
+		})
+	}
+	for i, m := range mt.tbl.measures {
+		out.measByID[m.Name] = i
+		out.measures = append(out.measures, &MeasureColumn{
+			Name:   m.Name,
+			values: append([]float64(nil), m.values...),
+		})
+	}
+	return out
+}
+
+var _ Reader = (*MmapTable)(nil)

@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package colstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported is false here: OpenMmapFile transparently falls back to
+// materializing the snapshot on the heap (Storage reports
+// "mmap-fallback"), keeping the backend choice portable.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("colstore: mmap not supported on this platform")
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmap(_ []byte) error { return nil }

@@ -1,0 +1,269 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// wantZeroCopy reports whether this host should get a real mapping (the
+// fallback path is exercised explicitly elsewhere).
+func wantZeroCopy() bool {
+	return mmapSupported && hostLittleEndian
+}
+
+func writeFixtureSnapshot(t *testing.T, version int) (*Table, string) {
+	t.Helper()
+	tbl := snapshotFixture(t)
+	path := t.TempDir() + "/fixture.fms"
+	if err := WriteSnapshotFileVersion(tbl, path, version); err != nil {
+		t.Fatal(err)
+	}
+	return tbl, path
+}
+
+// assertSameTable fails unless got serves exactly the rows, order,
+// dictionaries, and measures of want.
+func assertSameTable(t *testing.T, want *Table, got Reader) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || got.BlockSize() != want.BlockSize() || got.NumBlocks() != want.NumBlocks() {
+		t.Fatalf("shape mismatch: rows %d/%d blockSize %d/%d", got.NumRows(), want.NumRows(), got.BlockSize(), want.BlockSize())
+	}
+	for _, name := range want.Columns() {
+		wc, _ := want.Column(name)
+		gc, err := got.ColumnByName(name)
+		if err != nil {
+			t.Fatalf("column %q lost: %v", name, err)
+		}
+		if gc.Cardinality() != wc.Cardinality() {
+			t.Fatalf("column %q cardinality %d != %d", name, gc.Cardinality(), wc.Cardinality())
+		}
+		for code := uint32(0); int(code) < wc.Cardinality(); code++ {
+			if wc.Dict.Value(code) != gc.Dictionary().Value(code) {
+				t.Fatalf("column %q dictionary diverges at code %d", name, code)
+			}
+		}
+		for i := 0; i < want.NumRows(); i++ {
+			if wc.Code(i) != gc.Code(i) {
+				t.Fatalf("column %q row %d: code %d != %d", name, i, gc.Code(i), wc.Code(i))
+			}
+		}
+	}
+	for _, name := range want.MeasureNames() {
+		wm, _ := want.Measure(name)
+		gm, err := got.MeasureByName(name)
+		if err != nil {
+			t.Fatalf("measure %q lost: %v", name, err)
+		}
+		for i := 0; i < want.NumRows(); i++ {
+			if wm.Value(i) != gm.Value(i) {
+				t.Fatalf("measure %q row %d: %g != %g", name, i, gm.Value(i), wm.Value(i))
+			}
+		}
+	}
+}
+
+func TestMmapOpenV2ZeroCopy(t *testing.T) {
+	tbl, path := writeFixtureSnapshot(t, SnapshotV2)
+	mt, err := OpenMmapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	assertSameTable(t, tbl, mt)
+	st := mt.Storage()
+	if wantZeroCopy() {
+		if st.Backend != "mmap" || mt.FallbackReason() != "" {
+			t.Fatalf("expected zero-copy mapping, got backend %q (fallback %q)", st.Backend, mt.FallbackReason())
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MappedBytes != fi.Size() {
+			t.Fatalf("mapped %d bytes, file is %d", st.MappedBytes, fi.Size())
+		}
+		// Zero copy means code arrays weigh nothing on the heap: only
+		// dictionaries/bookkeeping count.
+		if st.HeapBytes >= tbl.Storage().HeapBytes {
+			t.Fatalf("mmap heap bytes %d not smaller than inmem %d", st.HeapBytes, tbl.Storage().HeapBytes)
+		}
+	} else if st.Backend != "mmap-fallback" {
+		t.Fatalf("expected fallback on %s, got backend %q", runtime.GOOS, st.Backend)
+	}
+}
+
+func TestMmapOpenV1FallsBack(t *testing.T) {
+	tbl, path := writeFixtureSnapshot(t, SnapshotV1)
+	mt, err := OpenMmapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	if st := mt.Storage(); st.Backend != "mmap-fallback" || st.MappedBytes != 0 {
+		t.Fatalf("v1 snapshot should fall back to the heap, got %+v", st)
+	}
+	if mt.FallbackReason() == "" {
+		t.Fatal("fallback reason not recorded")
+	}
+	assertSameTable(t, tbl, mt)
+}
+
+func TestMmapOpenRejectsCorruption(t *testing.T) {
+	_, path := writeFixtureSnapshot(t, SnapshotV2)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(b []byte) string {
+		p := t.TempDir() + "/mut.fms"
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Bad magic.
+	mut := append([]byte(nil), clean...)
+	mut[0] = 'X'
+	if _, err := OpenMmapFile(write(mut)); err == nil {
+		t.Fatal("bad magic not rejected")
+	}
+	// Unknown version.
+	mut = append([]byte(nil), clean...)
+	mut[7] = 0x7f
+	if _, err := OpenMmapFile(write(mut)); err == nil {
+		t.Fatal("unknown version not rejected")
+	}
+	// Truncations at several depths: header, dictionary, array, trailer.
+	for _, keep := range []int{10, 40, len(clean) / 2, len(clean) - 2} {
+		if _, err := OpenMmapFile(write(clean[:keep])); err == nil {
+			t.Fatalf("truncation to %d bytes not rejected", keep)
+		}
+	}
+	// Absurd header dimensions.
+	mut = append([]byte(nil), clean...)
+	binary.LittleEndian.PutUint64(mut[12:], 1<<40) // rows
+	if _, err := OpenMmapFile(write(mut)); err == nil {
+		t.Fatal("absurd row count not rejected")
+	}
+}
+
+// TestMmapOpenRejectsOutOfRangeCode pins the availability guard: a code
+// above its dictionary's cardinality must be rejected at open (the
+// stream reader rejects it too), never handed to executors where it
+// would index candidate/group arrays out of bounds mid-query.
+func TestMmapOpenRejectsOutOfRangeCode(t *testing.T) {
+	tbl := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	// Walk to the first column's codes array (same layout the zero-copy
+	// parser follows).
+	off := 8
+	u32 := func() int {
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return int(v)
+	}
+	skipStr := func() { off += u32() }
+	u32()    // blockSize
+	off += 8 // rows
+	u32()    // ncols
+	u32()    // nmeas
+	skipStr()
+	dictLen := u32()
+	for i := 0; i < dictLen; i++ {
+		skipStr()
+	}
+	off = (off + 7) &^ 7
+	binary.LittleEndian.PutUint32(data[off:], uint32(dictLen)) // one past the dictionary
+	path := t.TempDir() + "/badcode.fms"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMmapFile(path); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range code not rejected: %v", err)
+	}
+}
+
+func TestMmapCloseIdempotentAndMaterialize(t *testing.T) {
+	tbl, path := writeFixtureSnapshot(t, SnapshotV2)
+	mt, err := OpenMmapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize detaches a heap copy that survives Close.
+	heap := mt.Materialize()
+	if err := mt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Close(); err != nil {
+		t.Fatal("second Close must be a no-op:", err)
+	}
+	assertSameTable(t, tbl, heap)
+}
+
+// TestSnapshotV2SectionAlignment walks the v2 byte stream and checks that
+// every code/value array starts on an 8-byte file offset — the invariant
+// the zero-copy reinterpretation relies on.
+func TestSnapshotV2SectionAlignment(t *testing.T) {
+	tbl := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	off := 8
+	u32 := func() int {
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return int(v)
+	}
+	skipStr := func() { off += u32() }
+	blockSize := u32()
+	if off += 8; blockSize <= 0 { // rows u64
+		t.Fatal("bad block size")
+	}
+	ncols, nmeas := u32(), u32()
+	if ncols != len(tbl.Columns()) {
+		t.Fatalf("header declares %d columns, table has %d", ncols, len(tbl.Columns()))
+	}
+	rows := tbl.NumRows()
+	pad8 := func(what string, i int) {
+		for ; off%8 != 0; off++ {
+			if data[off] != 0 {
+				t.Fatalf("%s %d: nonzero padding byte at offset %d", what, i, off)
+			}
+		}
+	}
+	for c, name := range tbl.Columns() {
+		skipStr()
+		dictLen := u32()
+		for i := 0; i < dictLen; i++ {
+			skipStr()
+		}
+		pad8("column", c)
+		// The aligned offset must hold this column's codes verbatim —
+		// i.e. the offsets a zero-copy reader computes land on real data.
+		col, _ := tbl.Column(name)
+		for i := 0; i < rows; i++ {
+			if got := binary.LittleEndian.Uint32(data[off+4*i:]); got != col.Code(i) {
+				t.Fatalf("column %q row %d: aligned section holds %d, want %d", name, i, got, col.Code(i))
+			}
+		}
+		off += 4 * rows
+	}
+	for m := 0; m < nmeas; m++ {
+		skipStr()
+		pad8("measure", m)
+		off += 8 * rows
+	}
+	if off+4 != len(data) {
+		t.Fatalf("trailer at %d, file is %d bytes", off, len(data))
+	}
+}

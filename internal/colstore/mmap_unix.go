@@ -1,0 +1,27 @@
+//go:build linux || darwin
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy snapshot backend; see mmap_other.go
+// for the fallback on other platforms.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: pages are served
+// from the OS page cache and never duplicated per process, and writes
+// through the mapping fault (enforcing the Reader aliasing contract).
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		// Zero-length mmap is EINVAL; an empty mapping has no sections to
+		// alias anyway.
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping created by mmapFile.
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,79 @@
+package colstore
+
+// Reader is the backend-neutral read interface the FastMatch engine runs
+// on: block-granular access to a column-oriented relation. The in-memory
+// *Table is one implementation; *MmapTable serves the same contract
+// zero-copy out of an aligned snapshot mapping. Every implementation must
+// be safe for concurrent readers (the engine shares one Reader across
+// query goroutines) and immutable for its lifetime.
+//
+// Aliasing contract: the slices returned by ColumnReader.Codes and
+// MeasureReader.Values alias backend storage — for the mmap backend they
+// point straight into pages mapped read-only from the snapshot file.
+// Callers MUST treat them as read-only; a write is corruption for the
+// in-memory backend and a fault (SIGSEGV/SIGBUS) for the mmap backend.
+type Reader interface {
+	// NumRows returns the number of tuples.
+	NumRows() int
+	// BlockSize returns the tuples-per-block granularity.
+	BlockSize() int
+	// NumBlocks returns the number of blocks (the last may be partial).
+	NumBlocks() int
+	// BlockSpan returns the row range [lo, hi) covered by block b.
+	BlockSpan(b int) (lo, hi int)
+	// Columns lists the categorical column names in declaration order.
+	Columns() []string
+	// ColumnByName returns the named categorical column.
+	ColumnByName(name string) (ColumnReader, error)
+	// MeasureNames lists the measure column names in declaration order.
+	MeasureNames() []string
+	// MeasureByName returns the named measure column.
+	MeasureByName(name string) (MeasureReader, error)
+	// Storage describes where the table's bytes live (backend name,
+	// mapped vs heap residency), surfaced by serving-layer stats.
+	Storage() StorageStats
+}
+
+// ColumnReader is block-granular read access to one dictionary-encoded
+// categorical column.
+type ColumnReader interface {
+	// ColumnName returns the column's name.
+	ColumnName() string
+	// Cardinality returns the number of distinct values in the domain.
+	Cardinality() int
+	// Code returns the dictionary code at row i.
+	Code(i int) uint32
+	// Codes returns the codes for rows [lo, hi). The slice aliases
+	// backend storage (possibly read-only mapped pages): read-only.
+	Codes(lo, hi int) []uint32
+	// Dictionary returns the column's code↔value dictionary.
+	Dictionary() *Dictionary
+}
+
+// MeasureReader is block-granular read access to one numeric measure
+// column.
+type MeasureReader interface {
+	// MeasureName returns the measure column's name.
+	MeasureName() string
+	// Value returns the measure at row i.
+	Value(i int) float64
+	// Values returns the measures for rows [lo, hi). The slice aliases
+	// backend storage (possibly read-only mapped pages): read-only.
+	Values(lo, hi int) []float64
+}
+
+// StorageStats describes a Reader's storage residency.
+type StorageStats struct {
+	// Backend identifies the implementation: "inmem", "mmap", or
+	// "mmap-fallback" (a snapshot that could not be mapped zero-copy and
+	// was materialized on the heap instead).
+	Backend string `json:"backend"`
+	// MappedBytes counts bytes served from a file mapping (zero for heap
+	// backends). The OS page cache manages their residency, so a mapped
+	// table can exceed RAM.
+	MappedBytes int64 `json:"mapped_bytes"`
+	// HeapBytes estimates bytes resident on the Go heap (code/value
+	// arrays for in-memory tables; dictionaries and bookkeeping only for
+	// mapped tables).
+	HeapBytes int64 `json:"heap_bytes"`
+}

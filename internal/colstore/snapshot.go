@@ -18,9 +18,10 @@ import (
 // layout and the row permutation are preserved exactly, so a table read
 // back from a snapshot produces byte-identical query results.
 //
-// Format (all integers little-endian, strings length-prefixed by uint32):
+// Two format versions exist (all integers little-endian, strings
+// length-prefixed by uint32):
 //
-//	offset 0: magic "FMSNAP\x00\x01" (8 bytes; last byte is the version)
+//	offset 0: magic "FMSNAP\x00" + version byte (8 bytes total)
 //	header:   uint32 blockSize
 //	          uint64 rows
 //	          uint32 #categorical columns
@@ -28,31 +29,69 @@ import (
 //	per categorical column (declaration order):
 //	          string name
 //	          uint32 dictionary length, then each value as a string
+//	          [v2 only] zero padding to the next 8-byte file offset
 //	          rows × uint32 codes
 //	per measure column (declaration order):
 //	          string name
+//	          [v2 only] zero padding to the next 8-byte file offset
 //	          rows × float64 (IEEE 754 bits) values
 //	trailer:  uint32 CRC-32 (IEEE) of every byte after the magic
+//	          (padding included)
 //
-// The magic's embedded version is bumped on any incompatible change;
-// readers reject snapshots whose version they do not understand.
+// Version 1 packs sections back to back. Version 2 (the current default)
+// pads each code/value array out to an 8-byte-aligned file offset, so an
+// mmap'd snapshot can serve the arrays in place — reinterpreted as
+// []uint32 / []float64 with zero copy — on little-endian hosts (see
+// OpenMmapFile). Readers accept both versions and reject anything newer.
 
-// snapshotMagic identifies snapshot files; the final byte is the format
-// version.
-var snapshotMagic = [8]byte{'F', 'M', 'S', 'N', 'A', 'P', 0x00, 0x01}
+// Snapshot format versions. WriteSnapshot writes
+// CurrentSnapshotVersion; readers accept every version listed here.
+const (
+	SnapshotV1 = 1 // unaligned sections (legacy, still readable)
+	SnapshotV2 = 2 // 8-byte-aligned sections, mmap-able in place
+
+	CurrentSnapshotVersion = SnapshotV2
+)
+
+// snapshotMagicPrefix identifies snapshot files; the eighth byte is the
+// format version.
+var snapshotMagicPrefix = [7]byte{'F', 'M', 'S', 'N', 'A', 'P', 0x00}
 
 // ioChunk is the staging-buffer size for bulk code/value encoding.
 const ioChunk = 1 << 16
 
-// WriteSnapshot serializes a table to w in the versioned binary snapshot
-// format.
+// countingWriter tracks the absolute file offset so the v2 writer can pad
+// array sections to 8-byte alignment.
+type countingWriter struct {
+	w   io.Writer
+	off int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.off += int64(n)
+	return n, err
+}
+
+// WriteSnapshot serializes a table to w in the current snapshot version.
 func WriteSnapshot(tbl *Table, w io.Writer) error {
+	return WriteSnapshotVersion(tbl, w, CurrentSnapshotVersion)
+}
+
+// WriteSnapshotVersion serializes a table in an explicit format version —
+// SnapshotV2 (current) or SnapshotV1 (legacy, for cross-version tooling
+// and compatibility tests).
+func WriteSnapshotVersion(tbl *Table, w io.Writer, version int) error {
+	if version != SnapshotV1 && version != SnapshotV2 {
+		return fmt.Errorf("colstore: unsupported snapshot version %d", version)
+	}
 	bw := bufio.NewWriterSize(w, ioChunk)
-	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+	magic := append(snapshotMagicPrefix[:], byte(version))
+	if _, err := bw.Write(magic); err != nil {
 		return fmt.Errorf("colstore: writing snapshot magic: %w", err)
 	}
 	crc := crc32.NewIEEE()
-	cw := io.MultiWriter(bw, crc)
+	cw := &countingWriter{w: io.MultiWriter(bw, crc), off: int64(len(magic))}
 	var scratch [8]byte
 	putU32 := func(v uint32) error {
 		binary.LittleEndian.PutUint32(scratch[:4], v)
@@ -70,6 +109,18 @@ func WriteSnapshot(tbl *Table, w io.Writer) error {
 		}
 		_, err := io.WriteString(cw, s)
 		return err
+	}
+	var zeros [8]byte
+	pad8 := func() error {
+		if version < SnapshotV2 {
+			return nil
+		}
+		if pad := int(-cw.off & 7); pad > 0 {
+			if _, err := cw.Write(zeros[:pad]); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	if err := putU32(uint32(tbl.blockSize)); err != nil {
 		return err
@@ -96,6 +147,9 @@ func WriteSnapshot(tbl *Table, w io.Writer) error {
 				return err
 			}
 		}
+		if err := pad8(); err != nil {
+			return err
+		}
 		codes := c.codes
 		for len(codes) > 0 {
 			n := len(codes)
@@ -113,6 +167,9 @@ func WriteSnapshot(tbl *Table, w io.Writer) error {
 	}
 	for _, m := range tbl.measures {
 		if err := putStr(m.Name); err != nil {
+			return err
+		}
+		if err := pad8(); err != nil {
 			return err
 		}
 		values := m.values
@@ -141,22 +198,39 @@ func WriteSnapshot(tbl *Table, w io.Writer) error {
 // snapshot cannot force absurd allocations before the CRC check runs.
 const maxSnapshotDim = 1 << 31
 
-// ReadSnapshot deserializes a table from the snapshot format, verifying
-// the magic, version, and CRC trailer.
+// countingReader tracks the absolute file offset so the v2 reader can
+// skip alignment padding deterministically.
+type countingReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.off += int64(n)
+	return n, err
+}
+
+// ReadSnapshot deserializes a table from the snapshot format (any
+// supported version), verifying the magic, version, and CRC trailer.
+//
+// Structural validation must stay in lockstep with parseMappedSnapshot
+// (mmap.go), which accepts the same v2 files minus the CRC check.
 func ReadSnapshot(r io.Reader) (*Table, error) {
 	br := bufio.NewReaderSize(r, ioChunk)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("colstore: reading snapshot magic: %w", err)
 	}
-	if !bytes.Equal(magic[:7], snapshotMagic[:7]) {
+	if !bytes.Equal(magic[:7], snapshotMagicPrefix[:]) {
 		return nil, fmt.Errorf("colstore: not a snapshot file (bad magic)")
 	}
-	if magic[7] != snapshotMagic[7] {
-		return nil, fmt.Errorf("colstore: unsupported snapshot version %d (want %d)", magic[7], snapshotMagic[7])
+	version := int(magic[7])
+	if version != SnapshotV1 && version != SnapshotV2 {
+		return nil, fmt.Errorf("colstore: unsupported snapshot version %d (max %d)", version, CurrentSnapshotVersion)
 	}
 	crc := crc32.NewIEEE()
-	cr := io.TeeReader(br, crc)
+	cr := &countingReader{r: io.TeeReader(br, crc), off: int64(len(magic))}
 	var scratch [8]byte
 	getU32 := func() (uint32, error) {
 		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
@@ -186,6 +260,24 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 			return "", err
 		}
 		return string(b), nil
+	}
+	skipPad := func() error {
+		if version < SnapshotV2 {
+			return nil
+		}
+		pad := int(-cr.off & 7)
+		if pad == 0 {
+			return nil
+		}
+		if _, err := io.ReadFull(cr, scratch[:pad]); err != nil {
+			return err
+		}
+		for _, b := range scratch[:pad] {
+			if b != 0 {
+				return fmt.Errorf("colstore: nonzero alignment padding")
+			}
+		}
+		return nil
 	}
 	fail := func(what string, err error) (*Table, error) {
 		return nil, fmt.Errorf("colstore: reading snapshot %s: %w", what, err)
@@ -249,6 +341,9 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 			}
 			dict.Intern(v)
 		}
+		if err := skipPad(); err != nil {
+			return fail("alignment padding", err)
+		}
 		// Grow the slice as bytes actually arrive instead of trusting the
 		// header's row count up front: a corrupt or truncated file can
 		// then only force allocation proportional to its real size.
@@ -280,6 +375,9 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 		if _, dup := tbl.measByID[name]; dup {
 			return nil, fmt.Errorf("colstore: snapshot has duplicate measure %q", name)
 		}
+		if err := skipPad(); err != nil {
+			return fail("alignment padding", err)
+		}
 		values := make([]float64, 0, min(rows, ioChunk))
 		for len(values) < rows {
 			n := rows - len(values)
@@ -306,13 +404,24 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 	return tbl, nil
 }
 
-// WriteSnapshotFile writes a table snapshot to path.
+// WriteSnapshotFile writes a table snapshot to path in the current
+// version.
 func WriteSnapshotFile(tbl *Table, path string) error {
+	return WriteSnapshotFileVersion(tbl, path, CurrentSnapshotVersion)
+}
+
+// WriteSnapshotFileVersion writes a table snapshot to path in an explicit
+// format version.
+func WriteSnapshotFileVersion(tbl *Table, path string, version int) error {
+	if version != SnapshotV1 && version != SnapshotV2 {
+		// Reject before os.Create truncates an existing snapshot at path.
+		return fmt.Errorf("colstore: unsupported snapshot version %d", version)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteSnapshot(tbl, f); err != nil {
+	if err := WriteSnapshotVersion(tbl, f, version); err != nil {
 		f.Close()
 		return err
 	}

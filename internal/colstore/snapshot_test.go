@@ -132,6 +132,63 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestSnapshotCrossVersion writes both supported format versions and
+// checks the version-gated reader accepts each, yielding identical
+// tables: v1 snapshots written before the aligned v2 format stay
+// loadable forever.
+func TestSnapshotCrossVersion(t *testing.T) {
+	tbl := snapshotFixture(t)
+	want := csvDump(t, tbl)
+	for _, version := range []int{SnapshotV1, SnapshotV2} {
+		var buf bytes.Buffer
+		if err := WriteSnapshotVersion(tbl, &buf, version); err != nil {
+			t.Fatalf("v%d write: %v", version, err)
+		}
+		if got := int(buf.Bytes()[7]); got != version {
+			t.Fatalf("magic declares version %d, want %d", got, version)
+		}
+		back, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d read: %v", version, err)
+		}
+		if have := csvDump(t, back); have != want {
+			t.Fatalf("v%d round trip altered table contents", version)
+		}
+	}
+	// v2 must be strictly larger only by alignment padding, never
+	// smaller: both carry the same payload.
+	var v1, v2 bytes.Buffer
+	_ = WriteSnapshotVersion(tbl, &v1, SnapshotV1)
+	_ = WriteSnapshotVersion(tbl, &v2, SnapshotV2)
+	if v2.Len() < v1.Len() || v2.Len() > v1.Len()+8*8 {
+		t.Fatalf("suspicious size delta: v1 %d bytes, v2 %d bytes", v1.Len(), v2.Len())
+	}
+	if err := WriteSnapshotVersion(tbl, &bytes.Buffer{}, 3); err == nil {
+		t.Fatal("unknown write version not rejected")
+	}
+}
+
+// TestSnapshotV1RejectsCorruption re-runs the corruption matrix against
+// the legacy format: the version gate must not weaken v1 verification.
+func TestSnapshotV1RejectsCorruption(t *testing.T) {
+	tbl := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshotVersion(tbl, &buf, SnapshotV1); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for _, off := range []int{16, len(clean) / 2, len(clean) - 5} {
+		mut := append([]byte(nil), clean...)
+		mut[off] ^= 0xff
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("v1 corruption at offset %d not detected", off)
+		}
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(clean[:len(clean)-8])); err == nil {
+		t.Fatal("v1 truncation not detected")
+	}
+}
+
 func TestSnapshotEmptyTable(t *testing.T) {
 	b := NewBuilder(8)
 	if _, err := b.AddColumn("only"); err != nil {

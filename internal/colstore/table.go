@@ -17,11 +17,19 @@ type Column struct {
 func (c *Column) Code(i int) uint32 { return c.codes[i] }
 
 // Codes returns the backing code slice for rows [lo, hi). The returned
-// slice aliases column storage; callers must treat it as read-only.
+// slice aliases column storage; callers MUST treat it as read-only — for
+// mmap-backed tables it points into pages mapped read-only from the
+// snapshot file, where a write faults. See the Reader aliasing contract.
 func (c *Column) Codes(lo, hi int) []uint32 { return c.codes[lo:hi] }
 
 // Cardinality returns the number of distinct values in the column's domain.
 func (c *Column) Cardinality() int { return c.Dict.Len() }
+
+// ColumnName implements ColumnReader.
+func (c *Column) ColumnName() string { return c.Name }
+
+// Dictionary implements ColumnReader.
+func (c *Column) Dictionary() *Dictionary { return c.Dict }
 
 // MeasureColumn is a numeric column used for SUM aggregations
 // (Appendix A.1.1). Values must be non-negative for measure-biased
@@ -34,8 +42,13 @@ type MeasureColumn struct {
 // Value returns the measure at row i.
 func (m *MeasureColumn) Value(i int) float64 { return m.values[i] }
 
-// Values returns the backing values for rows [lo, hi), read-only.
+// Values returns the backing values for rows [lo, hi). The returned slice
+// aliases column storage; callers MUST treat it as read-only (mmap-backed
+// tables serve it from read-only mapped pages). See the Reader contract.
 func (m *MeasureColumn) Values(lo, hi int) []float64 { return m.values[lo:hi] }
+
+// MeasureName implements MeasureReader.
+func (m *MeasureColumn) MeasureName() string { return m.Name }
 
 // Table is an immutable, column-oriented, in-memory relation divided into
 // fixed-size blocks. All I/O in the FastMatch engine happens at block
@@ -99,6 +112,63 @@ func (t *Table) Measure(name string) (*MeasureColumn, error) {
 	}
 	return t.measures[idx], nil
 }
+
+// ColumnByName implements Reader, returning the named categorical column
+// behind the backend-neutral ColumnReader interface. (Column keeps the
+// concrete *Column for builder-path callers.)
+func (t *Table) ColumnByName(name string) (ColumnReader, error) {
+	return t.Column(name)
+}
+
+// MeasureNames implements Reader, listing measure columns in declaration
+// order.
+func (t *Table) MeasureNames() []string {
+	names := make([]string, len(t.measures))
+	for i, m := range t.measures {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// MeasureByName implements Reader.
+func (t *Table) MeasureByName(name string) (MeasureReader, error) {
+	return t.Measure(name)
+}
+
+// Storage implements Reader: everything lives on the Go heap.
+func (t *Table) Storage() StorageStats {
+	return StorageStats{Backend: "inmem", HeapBytes: t.heapBytes(true)}
+}
+
+// heapBytes estimates the table's heap footprint; arrays selects whether
+// the code/value arrays count (they do not for mmap-backed tables, whose
+// arrays alias the file mapping).
+func (t *Table) heapBytes(arrays bool) int64 {
+	var n int64
+	const stringHeader = 16 // string header per dictionary entry
+	for _, c := range t.cols {
+		if arrays {
+			n += int64(len(c.codes)) * 4
+		}
+		for _, v := range c.Dict.values {
+			n += int64(len(v)) + stringHeader
+		}
+	}
+	if arrays {
+		for _, m := range t.measures {
+			n += int64(len(m.values)) * 8
+		}
+	}
+	return n
+}
+
+// Compile-time interface conformance checks: the in-memory table is the
+// reference Reader backend.
+var (
+	_ Reader        = (*Table)(nil)
+	_ ColumnReader  = (*Column)(nil)
+	_ MeasureReader = (*MeasureColumn)(nil)
+)
 
 // Builder accumulates rows and produces an immutable Table. Columns are
 // declared up front; rows are appended code-wise (fast path, used by the

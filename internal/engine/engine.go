@@ -115,42 +115,45 @@ type Match struct {
 	Histogram *histogram.Histogram
 }
 
-// Engine answers top-k histogram matching queries over one table. It
+// Engine answers top-k histogram matching queries over one storage
+// source — any colstore.Reader backend: the heap-resident table, the
+// zero-copy mmap snapshot, or future backends (sharded, remote). It
 // caches bitmap indexes and density maps per column behind singleflight
 // guards, so one shared Engine is safe for concurrent use: any number of
 // goroutines may Prepare, Run, and ResolveTarget simultaneously (per-run
 // scan state lives in the run, not the Engine). Concurrent requests for a
 // missing index block on a single build instead of duplicating it.
 type Engine struct {
-	tbl     *colstore.Table
+	src     colstore.Reader
 	indexes *buildCache[*bitmap.Index]
 	density *buildCache[*bitmap.DensityMap]
 }
 
-// New creates an engine over a table.
-func New(tbl *colstore.Table) *Engine {
+// New creates an engine over a storage source (e.g. a *colstore.Table or
+// *colstore.MmapTable).
+func New(src colstore.Reader) *Engine {
 	return &Engine{
-		tbl:     tbl,
+		src:     src,
 		indexes: newBuildCache[*bitmap.Index](),
 		density: newBuildCache[*bitmap.DensityMap](),
 	}
 }
 
-// Table returns the underlying table.
-func (e *Engine) Table() *colstore.Table { return e.tbl }
+// Source returns the underlying storage source.
+func (e *Engine) Source() colstore.Reader { return e.src }
 
 // Index returns (building if needed) the bitmap index for a column.
 // Indexes are immutable once built and shared across runs.
 func (e *Engine) Index(column string) (*bitmap.Index, error) {
 	return e.indexes.get(column, func() (*bitmap.Index, error) {
-		return bitmap.Build(e.tbl, column)
+		return bitmap.Build(e.src, column)
 	})
 }
 
 // Density returns (building if needed) the density map for a column.
 func (e *Engine) Density(column string) (*bitmap.DensityMap, error) {
 	return e.density.get(column, func() (*bitmap.DensityMap, error) {
-		return bitmap.BuildDensity(e.tbl, column)
+		return bitmap.BuildDensity(e.src, column)
 	})
 }
 
@@ -227,14 +230,14 @@ func (p *Plan) RunWithTarget(target *histogram.Histogram, opts Options) (*Result
 	}
 	start := opts.StartBlock
 	if start < 0 {
-		nb := p.engine.tbl.NumBlocks()
+		nb := p.engine.src.NumBlocks()
 		if nb > 0 {
 			start = rand.New(rand.NewSource(opts.Seed)).Intn(nb)
 		} else {
 			start = 0
 		}
 	}
-	bs := newBlockSampler(p.engine.tbl, p.cand, p.grp, p.query.Filter, opts.Executor, opts.Lookahead, start)
+	bs := newBlockSampler(p.engine.src, p.cand, p.grp, p.query.Filter, opts.Executor, opts.Lookahead, start)
 	coreRes, err := core.Run(bs, target, opts.Params)
 	if err != nil {
 		return nil, err

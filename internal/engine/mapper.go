@@ -21,24 +21,36 @@ type groupMapper interface {
 	labelOf(g int) string
 }
 
-// singleGroups maps groups from one categorical column.
-type singleGroups struct{ col *colstore.Column }
+// singleGroups maps groups from one categorical column. codes aliases
+// the full column storage and card caches the cardinality, both captured
+// once at plan time so the per-row hot path (groupOf, and groups() via
+// scanPartial.add) is direct data access, not an interface call.
+type singleGroups struct {
+	col   colstore.ColumnReader
+	codes []uint32
+	card  int
+}
 
-func (s singleGroups) groups() int          { return s.col.Cardinality() }
-func (s singleGroups) groupOf(row int) int  { return int(s.col.Code(row)) }
-func (s singleGroups) labelOf(g int) string { return s.col.Dict.Value(uint32(g)) }
+func newSingleGroups(col colstore.ColumnReader, rows int) singleGroups {
+	return singleGroups{col: col, codes: col.Codes(0, rows), card: col.Cardinality()}
+}
+
+func (s singleGroups) groups() int          { return s.card }
+func (s singleGroups) groupOf(row int) int  { return int(s.codes[row]) }
+func (s singleGroups) labelOf(g int) string { return s.col.Dictionary().Value(uint32(g)) }
 
 // multiGroups maps groups from the cross product of several categorical
 // columns (Appendix A.1.3). The support is estimated as the product of the
 // columns' cardinalities; overestimation only loosens the Theorem-1 bound,
 // which stays correct.
 type multiGroups struct {
-	cols    []*colstore.Column
+	cols    []colstore.ColumnReader
+	codes   [][]uint32 // per column, aliasing full column storage
 	strides []int
 	total   int
 }
 
-func newMultiGroups(cols []*colstore.Column) (*multiGroups, error) {
+func newMultiGroups(cols []colstore.ColumnReader, rows int) (*multiGroups, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("engine: no grouping columns")
 	}
@@ -50,6 +62,9 @@ func newMultiGroups(cols []*colstore.Column) (*multiGroups, error) {
 			return nil, fmt.Errorf("engine: composite group support too large")
 		}
 	}
+	for _, c := range cols {
+		mg.codes = append(mg.codes, c.Codes(0, rows))
+	}
 	return mg, nil
 }
 
@@ -57,8 +72,8 @@ func (m *multiGroups) groups() int { return m.total }
 
 func (m *multiGroups) groupOf(row int) int {
 	g := 0
-	for i, c := range m.cols {
-		g += int(c.Code(row)) * m.strides[i]
+	for i, codes := range m.codes {
+		g += int(codes[row]) * m.strides[i]
 	}
 	return g
 }
@@ -70,7 +85,7 @@ func (m *multiGroups) labelOf(g int) string {
 		if i > 0 {
 			label += "|"
 		}
-		label += c.Dict.Value(code)
+		label += c.Dictionary().Value(code)
 	}
 	return label
 }
@@ -79,14 +94,19 @@ func (m *multiGroups) labelOf(g int) string {
 // (Appendix A.1.4). Rows outside the bin range are dropped, mirroring the
 // paper's preprocessing of outlier values.
 type binnedGroups struct {
-	m      *colstore.MeasureColumn
+	m      colstore.MeasureReader
+	values []float64 // aliases full column storage (read-only)
 	binner *colstore.Binner
+}
+
+func newBinnedGroups(m colstore.MeasureReader, rows int, binner *colstore.Binner) binnedGroups {
+	return binnedGroups{m: m, values: m.Values(0, rows), binner: binner}
 }
 
 func (b binnedGroups) groups() int { return b.binner.NumBins() }
 
 func (b binnedGroups) groupOf(row int) int {
-	bin, ok := b.binner.Bin(b.m.Value(row))
+	bin, ok := b.binner.Bin(b.values[row])
 	if !ok {
 		return -1
 	}
@@ -117,7 +137,8 @@ type candidateMapper interface {
 // unknown-candidate-domain extension of Appendix A.1.5. All fields are
 // read-only after construction, so one instance may serve concurrent runs.
 type columnCandidates struct {
-	col   *colstore.Column
+	col   colstore.ColumnReader
+	codes []uint32 // aliases full column storage (read-only)
 	idx   *bitmap.Index
 	remap []int // value code -> candidate id (identity when dummy unused)
 	// candValue[i] = value code for candidate i; -1 for the dummy.
@@ -126,9 +147,9 @@ type columnCandidates struct {
 	dummyBits *bitmap.Bitset
 }
 
-func newColumnCandidates(col *colstore.Column, idx *bitmap.Index, known []string) (*columnCandidates, error) {
+func newColumnCandidates(col colstore.ColumnReader, rows int, idx *bitmap.Index, known []string) (*columnCandidates, error) {
 	card := col.Cardinality()
-	cc := &columnCandidates{col: col, idx: idx, dummyID: -1}
+	cc := &columnCandidates{col: col, codes: col.Codes(0, rows), idx: idx, dummyID: -1}
 	if len(known) == 0 {
 		cc.remap = nil // identity
 		cc.candValue = make([]int, card)
@@ -142,9 +163,9 @@ func newColumnCandidates(col *colstore.Column, idx *bitmap.Index, known []string
 		cc.remap[v] = -2 // unassigned
 	}
 	for i, name := range known {
-		code, ok := col.Dict.Code(name)
+		code, ok := col.Dictionary().Code(name)
 		if !ok {
-			return nil, fmt.Errorf("engine: known candidate %q not in column %q", name, col.Name)
+			return nil, fmt.Errorf("engine: known candidate %q not in column %q", name, col.ColumnName())
 		}
 		if cc.remap[code] != -2 {
 			return nil, fmt.Errorf("engine: duplicate known candidate %q", name)
@@ -173,7 +194,7 @@ func newColumnCandidates(col *colstore.Column, idx *bitmap.Index, known []string
 func (cc *columnCandidates) numCandidates() int { return len(cc.candValue) }
 
 func (cc *columnCandidates) candidateOf(row int) int {
-	code := cc.col.Code(row)
+	code := cc.codes[row]
 	if cc.remap == nil {
 		return int(code)
 	}
@@ -239,7 +260,7 @@ func (cc *columnCandidates) labelOf(i int) string {
 	if i == cc.dummyID {
 		return "<other>"
 	}
-	return cc.col.Dict.Value(uint32(cc.candValue[i]))
+	return cc.col.Dictionary().Value(uint32(cc.candValue[i]))
 }
 
 // predicateCandidates derives candidates from boolean predicates over
@@ -256,14 +277,14 @@ type predicateCandidates struct {
 	labels   []string
 }
 
-func newPredicateCandidates(tbl *colstore.Table, preds []bitmap.Predicate) (*predicateCandidates, error) {
+func newPredicateCandidates(src colstore.Reader, preds []bitmap.Predicate) (*predicateCandidates, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("engine: no candidate predicates")
 	}
 	pc := &predicateCandidates{preds: preds}
-	nb := tbl.NumBlocks()
+	nb := src.NumBlocks()
 	for _, p := range preds {
-		m, err := compilePredicate(tbl, p)
+		m, err := compilePredicate(src, p)
 		if err != nil {
 			return nil, err
 		}
@@ -281,18 +302,21 @@ func newPredicateCandidates(tbl *colstore.Table, preds []bitmap.Predicate) (*pre
 }
 
 // compilePredicate turns a bitmap.Predicate into a direct row matcher
-// against table columns, avoiding per-row map allocation.
-func compilePredicate(tbl *colstore.Table, p bitmap.Predicate) (func(row int) bool, error) {
+// against source columns, avoiding per-row map allocation.
+func compilePredicate(src colstore.Reader, p bitmap.Predicate) (func(row int) bool, error) {
 	switch q := p.(type) {
 	case *bitmap.ValuePred:
-		col, err := tbl.Column(q.Column)
+		col, err := src.ColumnByName(q.Column)
 		if err != nil {
 			return nil, err
 		}
+		// Capture the aliased codes once: the matcher runs per row in
+		// executor hot loops, where an interface call per row would cost.
+		codes := col.Codes(0, src.NumRows())
 		code := q.Code
-		return func(row int) bool { return col.Code(row) == code }, nil
+		return func(row int) bool { return codes[row] == code }, nil
 	case *bitmap.AndPred:
-		kids, err := compileAll(tbl, q.Children)
+		kids, err := compileAll(src, q.Children)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +329,7 @@ func compilePredicate(tbl *colstore.Table, p bitmap.Predicate) (func(row int) bo
 			return true
 		}, nil
 	case *bitmap.OrPred:
-		kids, err := compileAll(tbl, q.Children)
+		kids, err := compileAll(src, q.Children)
 		if err != nil {
 			return nil, err
 		}
@@ -322,10 +346,10 @@ func compilePredicate(tbl *colstore.Table, p bitmap.Predicate) (func(row int) bo
 	}
 }
 
-func compileAll(tbl *colstore.Table, ps []bitmap.Predicate) ([]func(row int) bool, error) {
+func compileAll(src colstore.Reader, ps []bitmap.Predicate) ([]func(row int) bool, error) {
 	out := make([]func(row int) bool, len(ps))
 	for i, p := range ps {
-		m, err := compilePredicate(tbl, p)
+		m, err := compilePredicate(src, p)
 		if err != nil {
 			return nil, err
 		}

@@ -20,27 +20,29 @@ import (
 // sequential scans remain uniform samples. One view is needed per measure
 // attribute of interest, costing one extra pass over the data each —
 // exactly the preprocessing cost the paper describes.
-func MeasureBiasedView(tbl *colstore.Table, measure string, targetRows int, seed int64) (*colstore.Table, error) {
+// The source may be any storage backend (it is only read); the view is
+// always materialized as an in-memory table.
+func MeasureBiasedView(src colstore.Reader, measure string, targetRows int, seed int64) (*colstore.Table, error) {
 	if targetRows <= 0 {
 		return nil, fmt.Errorf("engine: targetRows must be positive, got %d", targetRows)
 	}
-	m, err := tbl.Measure(measure)
+	m, err := src.MeasureByName(measure)
 	if err != nil {
 		return nil, err
 	}
 	var total float64
-	for i := 0; i < tbl.NumRows(); i++ {
+	for i := 0; i < src.NumRows(); i++ {
 		total += m.Value(i)
 	}
 	if total <= 0 {
 		return nil, fmt.Errorf("engine: measure %q sums to %g; cannot bias", measure, total)
 	}
-	cols := tbl.Columns()
-	out := colstore.NewBuilder(tbl.BlockSize())
-	srcCols := make([]*colstore.Column, len(cols))
+	cols := src.Columns()
+	out := colstore.NewBuilder(src.BlockSize())
+	srcCols := make([]colstore.ColumnReader, len(cols))
 	dstCols := make([]*colstore.Column, len(cols))
 	for i, name := range cols {
-		src, err := tbl.Column(name)
+		sc, err := src.ColumnByName(name)
 		if err != nil {
 			return nil, err
 		}
@@ -49,15 +51,15 @@ func MeasureBiasedView(tbl *colstore.Table, measure string, targetRows int, seed
 			return nil, err
 		}
 		// Share the full dictionary so codes stay aligned with the source.
-		for _, v := range src.Dict.Values() {
+		for _, v := range sc.Dictionary().Values() {
 			dst.Dict.Intern(v)
 		}
-		srcCols[i], dstCols[i] = src, dst
+		srcCols[i], dstCols[i] = sc, dst
 	}
 	rng := rand.New(rand.NewSource(seed))
 	scale := float64(targetRows) / total
 	codes := make([]uint32, len(cols))
-	for row := 0; row < tbl.NumRows(); row++ {
+	for row := 0; row < src.NumRows(); row++ {
 		expected := m.Value(row) * scale
 		reps := int(expected)
 		if rng.Float64() < expected-float64(reps) {

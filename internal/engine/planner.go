@@ -58,12 +58,12 @@ func (e *Engine) plan(q Query) (candidateMapper, groupMapper, error) {
 // backed by its bitmap index.
 func (e *Engine) planCandidates(q Query) (candidateMapper, error) {
 	if len(q.CandidatePreds) > 0 {
-		return newPredicateCandidates(e.tbl, q.CandidatePreds)
+		return newPredicateCandidates(e.src, q.CandidatePreds)
 	}
 	if q.Z == "" {
 		return nil, fmt.Errorf("engine: query needs Z or CandidatePreds")
 	}
-	col, err := e.tbl.Column(q.Z)
+	col, err := e.src.ColumnByName(q.Z)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +71,7 @@ func (e *Engine) planCandidates(q Query) (candidateMapper, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newColumnCandidates(col, idx, q.KnownCandidates)
+	return newColumnCandidates(col, e.src.NumRows(), idx, q.KnownCandidates)
 }
 
 // planGroups resolves the group mapper: binned measure groups, a single
@@ -81,31 +81,31 @@ func (e *Engine) planGroups(q Query) (groupMapper, error) {
 		if q.XBins == nil {
 			return nil, fmt.Errorf("engine: XMeasure %q needs XBins", q.XMeasure)
 		}
-		m, err := e.tbl.Measure(q.XMeasure)
+		m, err := e.src.MeasureByName(q.XMeasure)
 		if err != nil {
 			return nil, err
 		}
-		return binnedGroups{m: m, binner: q.XBins}, nil
+		return newBinnedGroups(m, e.src.NumRows(), q.XBins), nil
 	}
 	if len(q.X) == 0 {
 		return nil, fmt.Errorf("engine: query needs X or XMeasure")
 	}
 	if len(q.X) == 1 {
-		col, err := e.tbl.Column(q.X[0])
+		col, err := e.src.ColumnByName(q.X[0])
 		if err != nil {
 			return nil, err
 		}
-		return singleGroups{col: col}, nil
+		return newSingleGroups(col, e.src.NumRows()), nil
 	}
-	cols := make([]*colstore.Column, len(q.X))
+	cols := make([]colstore.ColumnReader, len(q.X))
 	for i, name := range q.X {
-		col, err := e.tbl.Column(name)
+		col, err := e.src.ColumnByName(name)
 		if err != nil {
 			return nil, err
 		}
 		cols[i] = col
 	}
-	return newMultiGroups(cols)
+	return newMultiGroups(cols, e.src.NumRows())
 }
 
 // Query returns the query this plan resolves.

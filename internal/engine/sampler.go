@@ -76,7 +76,7 @@ func (s *IOStats) Add(other IOStats) {
 // owns the I/O manager (block reads) and the sampling engine (block
 // selection policy); the statistics engine is internal/core driving it.
 type blockSampler struct {
-	tbl    *colstore.Table
+	src    colstore.Reader
 	cand   candidateMapper
 	multi  *predicateCandidates // non-nil iff candidates may overlap
 	grp    groupMapper
@@ -100,18 +100,18 @@ type blockSampler struct {
 	activeSnap atomic.Pointer[[]int]
 }
 
-func newBlockSampler(tbl *colstore.Table, cand candidateMapper, grp groupMapper,
+func newBlockSampler(src colstore.Reader, cand candidateMapper, grp groupMapper,
 	filter func(int) bool, mode Executor, lookahead, startBlock int) *blockSampler {
 	if lookahead <= 0 {
 		lookahead = 1024
 	}
-	nb := tbl.NumBlocks()
+	nb := src.NumBlocks()
 	cursor := 0
 	if nb > 0 {
 		cursor = ((startBlock % nb) + nb) % nb
 	}
 	bs := &blockSampler{
-		tbl:       tbl,
+		src:       src,
 		cand:      cand,
 		grp:       grp,
 		filter:    filter,
@@ -135,7 +135,7 @@ func (bs *blockSampler) NumCandidates() int { return bs.cand.numCandidates() }
 func (bs *blockSampler) Groups() int { return bs.grp.groups() }
 
 // TotalRows implements core.Sampler.
-func (bs *blockSampler) TotalRows() int64 { return int64(bs.tbl.NumRows()) }
+func (bs *blockSampler) TotalRows() int64 { return int64(bs.src.NumRows()) }
 
 // Stats returns a snapshot of the I/O counters. The counters are
 // maintained with atomics, so Stats may be called while a run is in
@@ -149,7 +149,7 @@ func (bs *blockSampler) Stats() IOStats {
 	}
 }
 
-func (bs *blockSampler) allConsumed() bool { return bs.consCnt >= bs.tbl.NumBlocks() }
+func (bs *blockSampler) allConsumed() bool { return bs.consCnt >= bs.src.NumBlocks() }
 
 func (bs *blockSampler) newBatch() *core.Batch {
 	n := bs.cand.numCandidates()
@@ -171,7 +171,7 @@ func (bs *blockSampler) sealBatch(b *core.Batch) *core.Batch {
 // least m tuples have been drawn.
 func (bs *blockSampler) Stage1(m int) (*core.Batch, error) {
 	batch := bs.newBatch()
-	total := bs.tbl.NumBlocks()
+	total := bs.src.NumBlocks()
 	for visited := 0; batch.Drawn < int64(m) && !bs.allConsumed() && visited < total; visited++ {
 		b := bs.advance()
 		if bs.consumed.Get(b) {
@@ -240,7 +240,7 @@ func (bs *blockSampler) publishActive() {
 func (bs *blockSampler) advance() int {
 	b := bs.cursor
 	bs.cursor++
-	if bs.cursor >= bs.tbl.NumBlocks() {
+	if bs.cursor >= bs.src.NumBlocks() {
 		bs.cursor = 0
 		atomic.AddInt64(&bs.stats.Wraps, 1)
 	}
@@ -250,7 +250,7 @@ func (bs *blockSampler) advance() int {
 // runSequential drives ScanMatch (anyActive=false: read everything) and
 // SyncMatch (anyActive=true: per-block probe with freshest active set).
 func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) {
-	total := bs.tbl.NumBlocks()
+	total := bs.src.NumBlocks()
 	for visited := 0; visited < total && bs.unmet > 0 && !bs.allConsumed(); visited++ {
 		b := bs.advance()
 		if bs.consumed.Get(b) {
@@ -283,7 +283,7 @@ type window struct {
 // because the deficit set only shrinks within a round, so a stale mark is
 // a superset of what the freshest state would mark.
 func (bs *blockSampler) runLookahead(batch *core.Batch) {
-	total := bs.tbl.NumBlocks()
+	total := bs.src.NumBlocks()
 	if total == 0 {
 		return
 	}
@@ -357,7 +357,7 @@ readLoop:
 // mapped, and the batch and deficit updated. Caller ensures b is
 // unconsumed.
 func (bs *blockSampler) readBlock(b int, batch *core.Batch) {
-	lo, hi := bs.tbl.BlockSpan(b)
+	lo, hi := bs.src.BlockSpan(b)
 	var multiBuf []int
 	for row := lo; row < hi; row++ {
 		batch.Drawn++

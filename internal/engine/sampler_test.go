@@ -165,9 +165,9 @@ func TestCumulativeBatchesEqualExactOnExhaustion(t *testing.T) {
 				}
 			}
 			// Compare with exact scan counts.
-			z, _ := e.Table().Column("Z")
+			z, _ := e.Source().ColumnByName("Z")
 			exact := make([]int64, bs.NumCandidates())
-			for i := 0; i < e.Table().NumRows(); i++ {
+			for i := 0; i < e.Source().NumRows(); i++ {
 				exact[z.Code(i)]++
 			}
 			for i := range acc {

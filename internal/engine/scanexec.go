@@ -20,7 +20,7 @@ import (
 // decisions, and the top-k — are identical to the sequential pass
 // regardless of worker count.
 type scanExec struct {
-	tbl     *colstore.Table
+	src     colstore.Reader
 	cand    candidateMapper
 	multi   *predicateCandidates // non-nil iff candidates may overlap
 	grp     groupMapper
@@ -34,14 +34,14 @@ func (p *Plan) newScanExec(workers int) *scanExec {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if nb := p.engine.tbl.NumBlocks(); workers > nb {
+	if nb := p.engine.src.NumBlocks(); workers > nb {
 		workers = nb
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	return &scanExec{
-		tbl:     p.engine.tbl,
+		src:     p.engine.src,
 		cand:    p.cand,
 		multi:   p.multi,
 		grp:     p.grp,
@@ -59,7 +59,7 @@ type scanPartial struct {
 
 // partition splits [0, NumBlocks) into s.workers contiguous ranges.
 func (s *scanExec) partition() [][2]int {
-	nb := s.tbl.NumBlocks()
+	nb := s.src.NumBlocks()
 	ranges := make([][2]int, 0, s.workers)
 	chunk := (nb + s.workers - 1) / s.workers
 	for lo := 0; lo < nb; lo += chunk {
@@ -77,12 +77,13 @@ func (s *scanExec) partition() [][2]int {
 // all candidates).
 func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int) *scanPartial {
 	part := &scanPartial{hists: make([]*histogram.Histogram, s.cand.numCandidates())}
+	groups := s.grp.groups() // hoisted out of the per-row loop
 	var multiBuf []int
 	for b := loBlock; b < hiBlock; b++ {
 		if only != nil && !only.Get(b) {
 			continue
 		}
-		lo, hi := s.tbl.BlockSpan(b)
+		lo, hi := s.src.BlockSpan(b)
 		part.io.BlocksRead++
 		for row := lo; row < hi; row++ {
 			part.io.TuplesRead++
@@ -104,7 +105,7 @@ func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int
 					if keep >= 0 && id != keep {
 						continue
 					}
-					part.add(id, g, s.grp.groups())
+					part.add(id, g, groups)
 				}
 				continue
 			}
@@ -112,7 +113,7 @@ func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int
 			if id < 0 || (keep >= 0 && id != keep) {
 				continue
 			}
-			part.add(id, g, s.grp.groups())
+			part.add(id, g, groups)
 		}
 	}
 	return part

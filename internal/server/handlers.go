@@ -133,7 +133,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusUnprocessableEntity, "invalid query: %v", err)
 		return
 	}
-	opts := engine.DefaultOptions(entry.eng.Table().NumRows())
+	opts := engine.DefaultOptions(entry.eng.Source().NumRows())
 	if err := req.Options.apply(&opts); err != nil {
 		fail(http.StatusUnprocessableEntity, "invalid options: %v", err)
 		return

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
 )
 
@@ -75,6 +76,9 @@ type TableMetrics struct {
 	SamplesDrawn int64 `json:"samples_drawn"`
 	// LatencyMS holds quantiles over the most recent requests.
 	LatencyMS LatencyQuantiles `json:"latency_ms"`
+	// Storage reports the table's storage backend and mapped/heap bytes
+	// (filled in by the registry, not the per-table counters).
+	Storage colstore.StorageStats `json:"storage"`
 }
 
 // LatencyQuantiles summarizes the recent-latency window in milliseconds.

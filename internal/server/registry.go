@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,6 +29,12 @@ type TableSpec struct {
 	// Measures lists CSV header names to load as numeric measure columns
 	// (ignored for snapshots, which carry their own schema).
 	Measures []string `json:"measures,omitempty"`
+	// Backend selects the storage backend for snapshot tables: "inmem"
+	// (default; parse the snapshot onto the heap) or "mmap" (zero-copy
+	// map a v2 snapshot; v1 snapshots and non-mmap platforms materialize
+	// in memory and report "mmap-fallback"). CSV tables are always
+	// in-memory; combining csv with mmap is an error.
+	Backend string `json:"backend,omitempty"`
 	// BlockSize overrides the CSV table's block granularity (≤ 0 default).
 	BlockSize int `json:"block_size,omitempty"`
 	// ShuffleSeed shuffles CSV rows after loading so sequential scans are
@@ -47,8 +54,11 @@ type TableInfo struct {
 	Columns []ColumnInfo `json:"columns"`
 	// Source is the file the table was loaded from ("(in-memory)" for
 	// tables registered programmatically).
-	Source   string    `json:"source"`
-	LoadedAt time.Time `json:"loaded_at"`
+	Source string `json:"source"`
+	// Storage reports the backend serving the table and its mapped/heap
+	// residency.
+	Storage  colstore.StorageStats `json:"storage"`
+	LoadedAt time.Time             `json:"loaded_at"`
 }
 
 // ColumnInfo pairs a categorical column name with its cardinality.
@@ -78,10 +88,11 @@ func newRegistry() *registry {
 	return &registry{entries: make(map[string]*tableEntry)}
 }
 
-// register installs a table under a name. Re-registering a name is an
-// error: swapping a live table out from under in-flight queries (and
-// under cached plans) needs a versioning scheme, not a silent overwrite.
-func (r *registry) register(name, source string, tbl *colstore.Table) error {
+// register installs a storage source under a name. Re-registering a name
+// is an error: swapping a live table out from under in-flight queries
+// (and under cached plans) needs a versioning scheme, not a silent
+// overwrite.
+func (r *registry) register(name, source string, src colstore.Reader) error {
 	if name == "" {
 		return fmt.Errorf("server: table name must not be empty")
 	}
@@ -93,14 +104,15 @@ func (r *registry) register(name, source string, tbl *colstore.Table) error {
 	r.entries[name] = &tableEntry{
 		name:     name,
 		source:   source,
-		eng:      engine.New(tbl),
+		eng:      engine.New(src),
 		metrics:  &tableMetrics{},
 		loadedAt: time.Now(),
 	}
 	return nil
 }
 
-// load reads the spec's file and registers the resulting table.
+// load reads the spec's file through the selected storage backend and
+// registers the resulting source.
 func (r *registry) load(spec TableSpec) error {
 	if spec.Name == "" {
 		return fmt.Errorf("server: table spec needs a name")
@@ -117,12 +129,26 @@ func (r *registry) load(spec TableSpec) error {
 			format = "csv"
 		}
 	}
-	var tbl *colstore.Table
+	backend := spec.Backend
+	if backend == "" {
+		backend = "inmem"
+	}
+	if backend != "inmem" && backend != "mmap" {
+		return fmt.Errorf("server: table %q: unknown backend %q (want inmem or mmap)", spec.Name, backend)
+	}
+	var src colstore.Reader
 	var err error
 	switch format {
 	case "snapshot":
-		tbl, err = colstore.ReadSnapshotFile(spec.Path)
+		if backend == "mmap" {
+			src, err = colstore.OpenMmapFile(spec.Path)
+		} else {
+			src, err = colstore.ReadSnapshotFile(spec.Path)
+		}
 	case "csv":
+		if backend == "mmap" {
+			return fmt.Errorf("server: table %q: backend mmap requires a snapshot, not csv (write one with datagen -snapshot)", spec.Name)
+		}
 		var f *os.File
 		if f, err = os.Open(spec.Path); err != nil {
 			break
@@ -139,7 +165,7 @@ func (r *registry) load(spec TableSpec) error {
 		if seed >= 0 {
 			opts.ShuffleSeed = &seed
 		}
-		tbl, err = colstore.ReadCSV(f, opts)
+		src, err = colstore.ReadCSV(f, opts)
 		f.Close()
 	default:
 		return fmt.Errorf("server: table %q: unknown format %q (want csv or snapshot)", spec.Name, format)
@@ -147,7 +173,15 @@ func (r *registry) load(spec TableSpec) error {
 	if err != nil {
 		return fmt.Errorf("server: loading table %q from %s: %w", spec.Name, spec.Path, err)
 	}
-	return r.register(spec.Name, spec.Path, tbl)
+	if err := r.register(spec.Name, spec.Path, src); err != nil {
+		// Don't leak the file mapping when registration fails (e.g. a
+		// duplicate name on an admin reload).
+		if c, ok := src.(io.Closer); ok {
+			_ = c.Close()
+		}
+		return err
+	}
+	return nil
 }
 
 // count returns the number of registered tables.
@@ -171,17 +205,18 @@ func (r *registry) list() []TableInfo {
 	defer r.mu.RUnlock()
 	out := make([]TableInfo, 0, len(r.entries))
 	for _, e := range r.entries {
-		tbl := e.eng.Table()
+		src := e.eng.Source()
 		info := TableInfo{
 			Name:      e.name,
-			Rows:      tbl.NumRows(),
-			Blocks:    tbl.NumBlocks(),
-			BlockSize: tbl.BlockSize(),
+			Rows:      src.NumRows(),
+			Blocks:    src.NumBlocks(),
+			BlockSize: src.BlockSize(),
 			Source:    e.source,
+			Storage:   src.Storage(),
 			LoadedAt:  e.loadedAt,
 		}
-		for _, cn := range tbl.Columns() {
-			col, err := tbl.Column(cn)
+		for _, cn := range src.Columns() {
+			col, err := src.ColumnByName(cn)
 			if err != nil {
 				continue
 			}
@@ -199,7 +234,9 @@ func (r *registry) metricsSnapshot() map[string]TableMetrics {
 	defer r.mu.RUnlock()
 	out := make(map[string]TableMetrics, len(r.entries))
 	for name, e := range r.entries {
-		out[name] = e.metrics.snapshot()
+		m := e.metrics.snapshot()
+		m.Storage = e.eng.Source().Storage()
+		out[name] = m
 	}
 	return out
 }

@@ -101,10 +101,11 @@ func New(cfg Config) *Server {
 // registers it.
 func (s *Server) LoadTable(spec TableSpec) error { return s.reg.load(spec) }
 
-// RegisterTable registers an already-built in-memory table — the
-// embedding path for programs that construct tables with a Builder.
-func (s *Server) RegisterTable(name string, tbl *colstore.Table) error {
-	return s.reg.register(name, "(in-memory)", tbl)
+// RegisterTable registers an already-open storage source — the embedding
+// path for programs that construct tables with a Builder or open mmap
+// snapshots themselves.
+func (s *Server) RegisterTable(name string, src colstore.Reader) error {
+	return s.reg.register(name, "(in-memory)", src)
 }
 
 // Tables lists the registered tables.

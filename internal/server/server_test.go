@@ -470,6 +470,90 @@ func TestSnapshotLoadedTableServesIdenticalResults(t *testing.T) {
 	}
 }
 
+// TestMmapBackendServesIdenticalResults boots the same snapshot under
+// both backends and asserts byte-identical query results plus correct
+// backend reporting in /v1/tables and /v1/stats.
+func TestMmapBackendServesIdenticalResults(t *testing.T) {
+	tbl := fixtureTable(t)
+	path := t.TempDir() + "/fixture.fms"
+	if err := colstore.WriteSnapshotFile(tbl, path); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.LoadTable(TableSpec{Name: "fixture", Path: path, Backend: "mmap"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTable(TableSpec{Name: "heap", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, executor := range []string{"scan", "parallelscan", "scanmatch", "syncmatch"} {
+		req := baseRequest(6, executor)
+		status, mmapReply := postQuery(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", executor, status)
+		}
+		req.Table = "heap"
+		status, heapReply := postQuery(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", executor, status)
+		}
+		if !bytes.Equal(mmapReply.Result, heapReply.Result) {
+			t.Fatalf("%s: mmap and heap backends returned different results", executor)
+		}
+		if want := directPayload(t, tbl, baseRequest(6, executor)); !bytes.Equal(mmapReply.Result, want) {
+			t.Fatalf("%s: mmap-backed result differs from direct run", executor)
+		}
+	}
+
+	for _, info := range s.Tables() {
+		switch info.Name {
+		case "fixture":
+			if b := info.Storage.Backend; b != "mmap" && b != "mmap-fallback" {
+				t.Fatalf("fixture backend %q, want mmap", b)
+			}
+			if b := info.Storage.Backend; b == "mmap" && info.Storage.MappedBytes == 0 {
+				t.Fatal("mmap table reports zero mapped bytes")
+			}
+		case "heap":
+			if info.Storage.Backend != "inmem" || info.Storage.HeapBytes == 0 {
+				t.Fatalf("heap backend %+v", info.Storage)
+			}
+		}
+	}
+	stats := getStats(t, ts.URL)
+	if got := stats.Tables["fixture"].Storage.Backend; got != "mmap" && got != "mmap-fallback" {
+		t.Fatalf("/v1/stats backend %q, want mmap", got)
+	}
+	if stats.Tables["heap"].Storage.Backend != "inmem" {
+		t.Fatalf("/v1/stats heap backend %q", stats.Tables["heap"].Storage.Backend)
+	}
+}
+
+// TestBackendSpecValidation pins the error paths: csv+mmap is rejected,
+// as is an unknown backend name.
+func TestBackendSpecValidation(t *testing.T) {
+	tbl := fixtureTable(t)
+	dir := t.TempDir()
+	csvPath := dir + "/fixture.csv"
+	var sb strings.Builder
+	if err := colstore.WriteCSV(tbl, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(csvPath, sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.LoadTable(TableSpec{Name: "bad", Path: csvPath, Backend: "mmap"}); err == nil {
+		t.Fatal("csv + mmap must be rejected")
+	}
+	if err := s.LoadTable(TableSpec{Name: "bad", Path: csvPath, Backend: "turbo"}); err == nil {
+		t.Fatal("unknown backend must be rejected")
+	}
+}
+
 func TestAdminLoadCSV(t *testing.T) {
 	tbl := fixtureTable(t)
 	csvPath := t.TempDir() + "/fixture.csv"

@@ -22,8 +22,10 @@ go build -o "$TMP/fastmatchd" ./cmd/fastmatchd
 echo "== generating flights dataset + snapshot"
 "$TMP/datagen" -dataset flights -rows 100000 -out "" -snapshot "$TMP/flights.fms"
 
-echo "== starting fastmatchd"
-"$TMP/fastmatchd" -listen "127.0.0.1:${PORT}" -table "flights=$TMP/flights.fms" &
+echo "== starting fastmatchd (same snapshot on the inmem and mmap backends)"
+"$TMP/fastmatchd" -listen "127.0.0.1:${PORT}" \
+  -table "flights=$TMP/flights.fms" \
+  -table "flightsmm=$TMP/flights.fms?backend=mmap" &
 PID=$!
 
 for i in $(seq 1 100); do
@@ -56,6 +58,20 @@ P2="$(printf '%s' "$R2" | sed 's/.*"result"://')"
 echo "== /v1/stats reports the cache hit"
 STATS="$(curl -fsS "$BASE/v1/stats")"
 echo "$STATS" | grep -q '"result_cache_hits":1' || { echo "stats missing cache hit: $STATS" >&2; exit 1; }
+
+echo "== mmap-backed table answers the same query identically"
+MMQUERY="$(printf '%s' "$QUERY" | sed 's/"table":"flights"/"table":"flightsmm"/')"
+R3="$(curl -fsS -X POST "$BASE/v1/query" -d "$MMQUERY")"
+P3="$(printf '%s' "$R3" | sed 's/.*"result"://')"
+[ "$P1" = "$P3" ] || { echo "mmap backend result differs from in-memory backend" >&2; echo "inmem: $P1" >&2; echo "mmap:  $P3" >&2; exit 1; }
+
+echo "== /v1/tables and /v1/stats report the mmap backend"
+TABLES="$(curl -fsS "$BASE/v1/tables")"
+echo "$TABLES" | grep -q '"name":"flightsmm"' || { echo "flightsmm table missing: $TABLES" >&2; exit 1; }
+echo "$TABLES" | grep -Eq '"backend":"mmap(-fallback)?"' || { echo "mmap backend not reported: $TABLES" >&2; exit 1; }
+echo "$TABLES" | grep -q '"backend":"inmem"' || { echo "inmem backend not reported: $TABLES" >&2; exit 1; }
+STATS="$(curl -fsS "$BASE/v1/stats")"
+echo "$STATS" | grep -Eq '"backend":"mmap(-fallback)?"' || { echo "stats missing mmap backend: $STATS" >&2; exit 1; }
 
 echo "== malformed requests are rejected cleanly"
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/query" -d '{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"epsilon":-1}}')"
