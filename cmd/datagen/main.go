@@ -8,20 +8,36 @@
 //	go run ./cmd/datagen -dataset flights -rows 50000 | head
 //	go run ./cmd/datagen -dataset flights -rows 500000 -out "" -snapshot flights.fms
 //
+//	# stream rows into a live fastmatchd ingest table at 5000 rows/s
+//	go run ./cmd/datagen -dataset flights -rows 100000 -out "" \
+//	    -stream http://localhost:8080/v1/tables/live/rows -stream-rate 5000
+//
 // -snapshot additionally writes the built table as a binary snapshot
 // (see internal/colstore: WriteSnapshot) that fastmatchd can cold-start
 // from without CSV re-parsing; pass -out "" to skip the CSV entirely.
 // Snapshots are written in format v2 (8-byte-aligned sections, mmap-able
 // zero-copy with -table name=path?backend=mmap); -snapshot-format 1
 // writes the legacy unaligned v1 layout for older readers.
+//
+// -stream POSTs the generated rows to a running fastmatchd append
+// endpoint as batched text/csv requests, rate-limited by -stream-rate
+// (rows per second; 0 streams as fast as the daemon acks). The target
+// ingest table's schema must cover the dataset's columns and measures
+// (e.g. boot with ?backend=ingest&columns=... matching -summary output).
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strconv"
+	"time"
 
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/datagen"
@@ -36,6 +52,9 @@ func main() {
 	snapshotFormat := flag.Int("snapshot-format", colstore.CurrentSnapshotVersion,
 		"snapshot format version (2 = aligned/mmap-able, 1 = legacy)")
 	summary := flag.Bool("summary", false, "print per-column summaries to stderr")
+	stream := flag.String("stream", "", "POST rows to this fastmatchd append endpoint (e.g. http://host:8080/v1/tables/NAME/rows)")
+	streamRate := flag.Int("stream-rate", 0, "rows per second for -stream (0 = unthrottled)")
+	streamBatch := flag.Int("stream-batch", 1000, "rows per -stream request")
 	flag.Parse()
 
 	ds, err := datagen.ByName(*dataset, *rows, *seed, 0)
@@ -58,6 +77,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "snapshot (v%d) written to %s\n", *snapshotFormat, *snapshot)
+	}
+	if *stream != "" {
+		if err := streamRows(ds.Table, *stream, *streamRate, *streamBatch); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *out == "" {
 		return
@@ -83,4 +107,90 @@ func main() {
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// streamRows POSTs the table's rows to a fastmatchd append endpoint as
+// batched text/csv requests, pacing batches to rate rows per second.
+func streamRows(tbl *colstore.Table, url string, rate, batch int) error {
+	if batch <= 0 {
+		batch = 1000
+	}
+	colNames := tbl.Columns()
+	cols := make([]*colstore.Column, len(colNames))
+	for i, name := range colNames {
+		c, err := tbl.Column(name)
+		if err != nil {
+			return err
+		}
+		cols[i] = c
+	}
+	measNames := tbl.MeasureNames()
+	measures := make([]*colstore.MeasureColumn, len(measNames))
+	for i, name := range measNames {
+		m, err := tbl.Measure(name)
+		if err != nil {
+			return err
+		}
+		measures[i] = m
+	}
+	header := append(append([]string{}, colNames...), measNames...)
+	record := make([]string, len(header))
+
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(batch) / float64(rate) * float64(time.Second))
+	}
+	began := time.Now()
+	next := began
+	var body bytes.Buffer
+	sent := 0
+	total := tbl.NumRows()
+	for lo := 0; lo < total; lo += batch {
+		hi := lo + batch
+		if hi > total {
+			hi = total
+		}
+		body.Reset()
+		cw := csv.NewWriter(&body)
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for r := lo; r < hi; r++ {
+			for i, c := range cols {
+				record[i] = c.Dict.Value(c.Code(r))
+			}
+			for i, m := range measures {
+				record[len(cols)+i] = strconv.FormatFloat(m.Value(r), 'g', -1, 64)
+			}
+			if err := cw.Write(record); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		resp, err := http.Post(url, "text/csv", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return fmt.Errorf("streaming rows %d-%d: %w", lo, hi, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return fmt.Errorf("streaming rows %d-%d: %s: %s", lo, hi, resp.Status, msg)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		sent = hi
+	}
+	elapsed := time.Since(began).Seconds()
+	fmt.Fprintf(os.Stderr, "streamed %d rows to %s in %.1fs (%.0f rows/s)\n",
+		sent, url, elapsed, float64(sent)/elapsed)
+	return nil
 }

@@ -11,6 +11,12 @@
 //	# zero-copy mmap backend: near-instant cold start, OS-managed residency
 //	go run ./cmd/fastmatchd -listen :8080 -table "flights=flights.fms?backend=mmap"
 //
+//	# live ingestion: a WAL-backed appendable table (dir created if absent,
+//	# WAL-replayed on boot); append via POST /v1/tables/live/rows
+//	go run ./cmd/fastmatchd -listen :8080 \
+//	    -table "live=./livedir?backend=ingest&columns=Origin,DepartureHour" \
+//	    -measures live:Delay
+//
 //	curl -s localhost:8080/v1/tables
 //	curl -s -X POST localhost:8080/v1/query -d '{
 //	    "table": "flights",
@@ -21,9 +27,12 @@
 //
 // -table name=path is repeatable; .fms/.snap/.snapshot paths load as
 // binary snapshots (fast cold start, layout preserved), everything else
-// as CSV. A path may carry ?backend=mmap (snapshots only) to serve the
-// table zero-copy from a file mapping instead of materializing it on the
-// heap. CSV measure columns are named with -measures table:col1,col2.
+// as CSV. A path may carry query options: ?backend=mmap (snapshots only)
+// serves the table zero-copy from a file mapping; ?backend=ingest treats
+// the path as a live table directory and accepts columns= (schema, for
+// fresh directories), seal=N (segment seal granularity in rows), and
+// block=N (block size). CSV and ingest measure columns are named with
+// -measures table:col1,col2.
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -53,7 +63,7 @@ func main() {
 	shuffleSeed := flag.Int64("shuffle-seed", 1, "row shuffle seed for CSV tables (negative = keep file order; snapshots always keep their layout)")
 
 	var tables []server.TableSpec
-	flag.Func("table", "dataset to serve, as name=path or name=path?backend=mmap (repeatable)", func(v string) error {
+	flag.Func("table", "dataset to serve, as name=path, name=path?backend=mmap, or name=dir?backend=ingest&columns=a,b (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("want name=path, got %q", v)
@@ -65,12 +75,32 @@ func main() {
 				return fmt.Errorf("table %q: parsing options %q: %v", name, rawOpts, err)
 			}
 			for k := range opts {
-				if k != "backend" {
-					return fmt.Errorf("table %q: unknown option %q (want backend)", name, k)
+				switch k {
+				case "backend", "columns", "seal", "block":
+				default:
+					return fmt.Errorf("table %q: unknown option %q (want backend, columns, seal, or block)", name, k)
 				}
 			}
 			spec.Path = base
 			spec.Backend = opts.Get("backend")
+			if cols := opts.Get("columns"); cols != "" {
+				if spec.Backend != "ingest" {
+					return fmt.Errorf("table %q: columns= is only for backend=ingest", name)
+				}
+				spec.Columns = strings.Split(cols, ",")
+			}
+			for _, numOpt := range []struct {
+				key string
+				dst *int
+			}{{"seal", &spec.SealRows}, {"block", &spec.BlockSize}} {
+				if s := opts.Get(numOpt.key); s != "" {
+					n, err := strconv.Atoi(s)
+					if err != nil || n <= 0 {
+						return fmt.Errorf("table %q: bad %s=%q", name, numOpt.key, s)
+					}
+					*numOpt.dst = n
+				}
+			}
 		}
 		tables = append(tables, spec)
 		return nil

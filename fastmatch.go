@@ -32,6 +32,7 @@ import (
 	"fastmatch/internal/core"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/histogram"
+	"fastmatch/internal/ingest"
 	"fastmatch/internal/server"
 )
 
@@ -129,9 +130,43 @@ type (
 	Server = server.Server
 	// ServerConfig parameterizes a Server; the zero value is usable.
 	ServerConfig = server.Config
-	// TableSpec describes a dataset to load (CSV or binary snapshot).
+	// TableSpec describes a dataset to load (CSV, binary snapshot, or a
+	// live ingest directory).
 	TableSpec = server.TableSpec
 )
+
+// Re-exported live-ingestion types (internal/ingest): a WritableTable
+// accepts appends — WAL-logged for durability, folded into immutable
+// column segments with zone maps, background-compacted into mmap-able
+// snapshot files — while serving queries through snapshot-isolated
+// Reader views, so every engine layer works unmodified over live data.
+type (
+	// WritableTable is the live-ingestion storage backend. Open one with
+	// OpenIngestTable, append with Append, query through View.
+	WritableTable = ingest.WritableTable
+	// IngestTableView is an immutable, snapshot-isolated Reader over a
+	// WritableTable at one data generation; Release it when done.
+	IngestTableView = ingest.TableView
+	// IngestSchema declares a writable table's columns and measures.
+	IngestSchema = ingest.Schema
+	// IngestOptions tunes durability (WAL fsync), segment sealing, and
+	// compaction; the zero value is production-safe.
+	IngestOptions = ingest.Options
+	// IngestRow is one appended tuple.
+	IngestRow = ingest.Row
+	// IngestAppendResult acknowledges a durable append batch.
+	IngestAppendResult = ingest.AppendResult
+	// IngestStats snapshots a writable table's ingest counters.
+	IngestStats = ingest.Stats
+)
+
+// OpenIngestTable creates or re-opens a live-ingestion table rooted at
+// dir, replaying its write-ahead log so exactly the acked rows come
+// back. See IngestSchema/IngestOptions; pass an empty schema to adopt an
+// existing directory's.
+func OpenIngestTable(dir string, schema IngestSchema, opts IngestOptions) (*WritableTable, error) {
+	return ingest.Open(dir, schema, opts)
+}
 
 // NewServer creates a query server; register tables with
 // Server.LoadTable or Server.RegisterTable and expose Server.Handler.

@@ -21,6 +21,24 @@ func NewDictionary() *Dictionary {
 	return &Dictionary{index: make(map[string]uint32)}
 }
 
+// NewDictionaryFromValues builds a dictionary whose codes follow the
+// given value order exactly: values[i] gets code i. Used by storage
+// backends (e.g. the live-ingest write path) that maintain their own
+// mutable interning state and periodically publish immutable snapshots.
+func NewDictionaryFromValues(values []string) (*Dictionary, error) {
+	d := &Dictionary{
+		values: append([]string(nil), values...),
+		index:  make(map[string]uint32, len(values)),
+	}
+	for i, v := range d.values {
+		if _, dup := d.index[v]; dup {
+			return nil, fmt.Errorf("colstore: duplicate dictionary value %q", v)
+		}
+		d.index[v] = uint32(i)
+	}
+	return d, nil
+}
+
 // Intern returns the code for value, assigning a fresh one if unseen.
 func (d *Dictionary) Intern(value string) uint32 {
 	if code, ok := d.index[value]; ok {

@@ -162,6 +162,68 @@ func (t *Table) heapBytes(arrays bool) int64 {
 	return n
 }
 
+// NewColumn wraps pre-encoded codes as a categorical column without
+// copying. The codes slice is aliased, not copied — the caller promises
+// that every code is a valid index into dict and that neither the slice
+// contents nor the dictionary mutate for the column's lifetime (the
+// Reader immutability contract). Code validity is deliberately not
+// re-verified here: the live-ingest backend constructs fresh column
+// wrappers over its storage spine on every published view, and an O(rows)
+// validation pass per view would turn appends quadratic. Validation
+// belongs at the boundary where the codes are produced (the interning
+// write path, the snapshot reader, the WAL replay).
+func NewColumn(name string, dict *Dictionary, codes []uint32) *Column {
+	return &Column{Name: name, Dict: dict, codes: codes}
+}
+
+// NewMeasureColumn wraps pre-encoded measure values as a column without
+// copying; the same aliasing and immutability contract as NewColumn
+// applies.
+func NewMeasureColumn(name string, values []float64) *MeasureColumn {
+	return &MeasureColumn{Name: name, values: values}
+}
+
+// NewTable assembles an immutable Table directly from constructed
+// columns, the zero-copy counterpart of Builder.Build for backends that
+// already hold columnar data (sealed ingest segments, ingest views).
+// Every column and measure must have exactly rows entries; blockSize ≤ 0
+// selects the default of 256.
+func NewTable(blockSize, rows int, cols []*Column, measures []*MeasureColumn) (*Table, error) {
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	if rows < 0 {
+		return nil, fmt.Errorf("colstore: negative row count %d", rows)
+	}
+	t := &Table{
+		colByName: make(map[string]int, len(cols)),
+		measByID:  make(map[string]int, len(measures)),
+		rows:      rows,
+		blockSize: blockSize,
+	}
+	for _, c := range cols {
+		if len(c.codes) != rows {
+			return nil, fmt.Errorf("colstore: column %q has %d rows, want %d", c.Name, len(c.codes), rows)
+		}
+		if _, dup := t.colByName[c.Name]; dup {
+			return nil, fmt.Errorf("colstore: duplicate column %q", c.Name)
+		}
+		t.colByName[c.Name] = len(t.cols)
+		t.cols = append(t.cols, c)
+	}
+	for _, m := range measures {
+		if len(m.values) != rows {
+			return nil, fmt.Errorf("colstore: measure %q has %d rows, want %d", m.Name, len(m.values), rows)
+		}
+		if _, dup := t.measByID[m.Name]; dup {
+			return nil, fmt.Errorf("colstore: duplicate measure %q", m.Name)
+		}
+		t.measByID[m.Name] = len(t.measures)
+		t.measures = append(t.measures, m)
+	}
+	return t, nil
+}
+
 // Compile-time interface conformance checks: the in-memory table is the
 // reference Reader backend.
 var (

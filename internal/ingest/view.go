@@ -1,0 +1,179 @@
+package ingest
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"fastmatch/internal/bitmap"
+	"fastmatch/internal/colstore"
+)
+
+// TableView is a snapshot-isolated, immutable read view of a
+// WritableTable: the union of the sealed segments plus the frozen write
+// tail at one generation, presented through the engine's colstore.Reader
+// seam so the planner, all five executors, and the bitmap index work
+// unmodified over live data.
+//
+// Row data is served from the table's append-only columnar spine: the
+// view aliases each column's [0, rows) prefix, which later appends never
+// mutate (they only extend, and a slice reallocation leaves the old
+// backing array untouched). Sealed segments are additionally pinned by
+// refcount: compaction may swap the canonical segment list underneath a
+// live view, but the view's pinned segments — and their cached bitmap
+// indexes and mmap handles — stay valid until the view is released.
+//
+// A view is also a bitmap.IndexedReader: the per-column block index is
+// stitched from the pinned segments' cached per-segment indexes (shifted
+// ORs, skipping segment/value pairs the code-presence zone maps rule
+// out) plus a scan of only the unsealed tail blocks. The stitched index
+// is bit-for-bit equal to a full Build scan, so executors behave
+// identically; the cost per generation is O(new data), not O(table).
+type TableView struct {
+	inner      *colstore.Table // spine-aliased, zero-copy
+	segs       []*segment      // pinned for the view's lifetime
+	sealedRows int
+	gen        uint64
+	refs       atomic.Int64
+}
+
+// Compile-time conformance: the engine consumes views through these.
+var (
+	_ colstore.Reader      = (*TableView)(nil)
+	_ bitmap.IndexedReader = (*TableView)(nil)
+)
+
+// newView pins the segments and wraps the spine prefix; callers (the
+// WritableTable, under its mutex) pass segments they hold references to.
+func newView(inner *colstore.Table, segs []*segment, sealedRows int, gen uint64) *TableView {
+	v := &TableView{inner: inner, segs: segs, sealedRows: sealedRows, gen: gen}
+	for _, s := range segs {
+		s.pin()
+	}
+	v.refs.Store(1)
+	return v
+}
+
+// Retain takes an additional reference; every Retain (and the reference
+// returned by WritableTable.View) must be paired with one Release.
+func (v *TableView) Retain() { v.refs.Add(1) }
+
+// tryRetain takes a reference only if the view is still alive (refcount
+// nonzero) — the lock-free View fast path may race with the cache
+// swapping this view out and dropping its last reference.
+func (v *TableView) tryRetain() bool {
+	for {
+		n := v.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if v.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference; the last release unpins the view's
+// segments, letting compaction-superseded segments free their resources.
+func (v *TableView) Release() {
+	if v.refs.Add(-1) != 0 {
+		return
+	}
+	for _, s := range v.segs {
+		s.unpin()
+	}
+}
+
+// Generation identifies the data version this view froze; it increases
+// with every acked append, so serving layers use it as a cache key.
+func (v *TableView) Generation() uint64 { return v.gen }
+
+// NumRows implements colstore.Reader.
+func (v *TableView) NumRows() int { return v.inner.NumRows() }
+
+// BlockSize implements colstore.Reader.
+func (v *TableView) BlockSize() int { return v.inner.BlockSize() }
+
+// NumBlocks implements colstore.Reader.
+func (v *TableView) NumBlocks() int { return v.inner.NumBlocks() }
+
+// BlockSpan implements colstore.Reader.
+func (v *TableView) BlockSpan(b int) (lo, hi int) { return v.inner.BlockSpan(b) }
+
+// Columns implements colstore.Reader.
+func (v *TableView) Columns() []string { return v.inner.Columns() }
+
+// ColumnByName implements colstore.Reader.
+func (v *TableView) ColumnByName(name string) (colstore.ColumnReader, error) {
+	return v.inner.ColumnByName(name)
+}
+
+// MeasureNames implements colstore.Reader.
+func (v *TableView) MeasureNames() []string { return v.inner.MeasureNames() }
+
+// MeasureByName implements colstore.Reader.
+func (v *TableView) MeasureByName(name string) (colstore.MeasureReader, error) {
+	return v.inner.MeasureByName(name)
+}
+
+// Storage implements colstore.Reader: the spine lives on the heap;
+// mmap-backed segments additionally report their mapped bytes (their
+// pages serve index builds and restart, not the row hot path).
+func (v *TableView) Storage() colstore.StorageStats {
+	st := v.inner.Storage()
+	st.Backend = "ingest"
+	for _, s := range v.segs {
+		st.MappedBytes += s.reader.Storage().MappedBytes
+	}
+	return st
+}
+
+// Segments reports the view's pinned segment count (diagnostics).
+func (v *TableView) Segments() int { return len(v.segs) }
+
+// BlockIndex implements bitmap.IndexedReader: stitch the sealed
+// segments' cached indexes, then scan only the unsealed tail blocks.
+func (v *TableView) BlockIndex(column string) (*bitmap.Index, error) {
+	col, err := v.inner.ColumnByName(column)
+	if err != nil {
+		return nil, err
+	}
+	idx := bitmap.NewIndex(col.Cardinality(), v.inner.NumBlocks())
+	for _, s := range v.segs {
+		segIdx, err := s.blockIndex(column)
+		if err != nil {
+			return nil, err
+		}
+		presence := s.zone.presence[column]
+		if presence == nil {
+			return nil, fmt.Errorf("ingest: segment [%d,%d) has no zone map for column %q", s.firstRow, s.firstRow+s.rows, column)
+		}
+		// Zone-map skip: only stitch values the segment actually holds.
+		for w := 0; w < presence.NumWords(); w++ {
+			word := presence.Word(w)
+			for word != 0 {
+				val := uint32(w*64 + bits.TrailingZeros64(word))
+				word &= word - 1
+				bs, err := segIdx.ValueBitset(val)
+				if err != nil {
+					return nil, err
+				}
+				if err := idx.OrValueShifted(val, bs, s.blockOff); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Tail: the frozen write-buffer rows past the last sealed segment.
+	rows := v.inner.NumRows()
+	if v.sealedRows < rows {
+		firstTailBlock := v.sealedRows / v.inner.BlockSize()
+		for b := firstTailBlock; b < v.inner.NumBlocks(); b++ {
+			lo, hi := v.inner.BlockSpan(b)
+			for _, code := range col.Codes(lo, hi) {
+				idx.Add(code, b)
+			}
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSchema() Schema {
+	return Schema{Columns: []string{"Z", "X"}, Measures: []string{"m"}, BlockSize: 64}
+}
+
+func mkRow(z, x string, m float64) Row {
+	return Row{Values: map[string]string{"Z": z, "X": x}, Measures: map[string]float64{"m": m}}
+}
+
+func TestWALRecordRoundtrip(t *testing.T) {
+	schema := testSchema()
+	rows := []Row{mkRow("a", "p", 1.5), mkRow("b", "q", 0), mkRow("", "r", 2.25)}
+	payload := encodeWALRecord(nil, schema, 42, rows)
+	first, got, err := decodeWALRecord(payload, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 42 {
+		t.Fatalf("firstRow = %d, want 42", first)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for _, c := range schema.Columns {
+			if got[i].Values[c] != rows[i].Values[c] {
+				t.Fatalf("row %d column %s: %q != %q", i, c, got[i].Values[c], rows[i].Values[c])
+			}
+		}
+		if got[i].Measures["m"] != rows[i].Measures["m"] {
+			t.Fatalf("row %d measure: %g != %g", i, got[i].Measures["m"], rows[i].Measures["m"])
+		}
+	}
+}
+
+func TestWALDecodeRejectsTruncatedPayload(t *testing.T) {
+	schema := testSchema()
+	payload := encodeWALRecord(nil, schema, 0, []Row{mkRow("a", "p", 1)})
+	for cut := 1; cut < len(payload); cut++ {
+		if _, _, err := decodeWALRecord(payload[:len(payload)-cut], schema); err == nil {
+			t.Fatalf("no error decoding payload truncated by %d bytes", cut)
+		}
+	}
+}
+
+// writeTestWAL writes a WAL file with the given batches via the real
+// writer and returns its path.
+func writeTestWAL(t *testing.T, dir string, schema Schema, batches [][]Row) string {
+	t.Helper()
+	w := &wal{dir: dir}
+	if err := w.rotate(0); err != nil {
+		t.Fatal(err)
+	}
+	row := 0
+	for _, b := range batches {
+		if err := w.append(schema, row, b, true); err != nil {
+			t.Fatal(err)
+		}
+		row += len(b)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, w.active.name)
+}
+
+func TestWALReplayStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	path := writeTestWAL(t, dir, schema, [][]Row{
+		{mkRow("a", "p", 1), mkRow("b", "q", 2)},
+		{mkRow("c", "r", 3)},
+	})
+	// Simulate a crash mid-write: a record header promising more payload
+	// than was flushed.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [8]byte
+	binary.LittleEndian.PutUint32(torn[0:4], 100)
+	binary.LittleEndian.PutUint32(torn[4:8], 0xdeadbeef)
+	if _, err := f.Write(torn[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize, _ := os.Stat(path)
+
+	var replayed int
+	files, err := walReplay(dir, schema, func(first int, rows []Row) error {
+		if first != replayed {
+			t.Fatalf("record firstRow %d, want %d", first, replayed)
+		}
+		replayed += len(rows)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 3 {
+		t.Fatalf("replayed %d rows, want 3", replayed)
+	}
+	if len(files) != 1 || files[0].endRow != 3 {
+		t.Fatalf("unexpected file bookkeeping: %+v", files)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() >= tornSize.Size() {
+		t.Fatalf("torn tail not truncated: %d >= %d", st.Size(), tornSize.Size())
+	}
+	if st.Size() != files[0].bytes {
+		t.Fatalf("file size %d != tracked bytes %d", st.Size(), files[0].bytes)
+	}
+}
+
+func TestWALReplayStopsAtCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	path := writeTestWAL(t, dir, schema, [][]Row{
+		{mkRow("a", "p", 1)},
+		{mkRow("b", "q", 2)},
+	})
+	// Flip one payload byte of the second record: its CRC now fails, so
+	// replay keeps only the first record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed int
+	if _, err := walReplay(dir, schema, func(_ int, rows []Row) error {
+		replayed += len(rows)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 {
+		t.Fatalf("replayed %d rows, want 1 (corrupt record must be dropped)", replayed)
+	}
+}
+
+func TestWALHeaderlessFileIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	path := filepath.Join(dir, walFileName(0))
+	if err := os.WriteFile(path, []byte("FMW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := walReplay(dir, schema, func(int, []Row) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].bytes != 0 {
+		t.Fatalf("unexpected bookkeeping: %+v", files)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("headerless WAL file not removed")
+	}
+}

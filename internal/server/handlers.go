@@ -19,8 +19,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/tables/{name}/rows", s.handleAppend)
 	if s.cfg.EnableAdmin {
 		s.mux.HandleFunc("POST /v1/admin/load", s.handleAdminLoad)
+		s.mux.HandleFunc("POST /v1/admin/unload", s.handleAdminUnload)
 	}
 }
 
@@ -118,22 +120,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding query request: %v", err)
 		return
 	}
-	entry, ok := s.reg.get(req.Table)
+	entry, ok := s.reg.acquire(req.Table)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no table %q (see /v1/tables)", req.Table)
 		return
 	}
+	defer entry.release()
 	fail := func(status int, format string, args ...any) {
 		entry.metrics.observe(time.Since(began), nil, true, false, false)
 		writeError(w, status, format, args...)
 	}
+
+	// For live (ingest-backed) tables this binds the request to the
+	// table's current generation: the view stays pinned for the whole
+	// request, and the caches below are keyed by (incarnation,
+	// generation) so answers computed over older data are never reused.
+	eng, gen, releaseView, err := entry.engineNow()
+	if err != nil {
+		fail(http.StatusServiceUnavailable, "table %q unavailable: %v", req.Table, err)
+		return
+	}
+	defer releaseView()
 
 	q, err := req.Query.toQuery()
 	if err != nil {
 		fail(http.StatusUnprocessableEntity, "invalid query: %v", err)
 		return
 	}
-	opts := engine.DefaultOptions(entry.eng.Source().NumRows())
+	opts := engine.DefaultOptions(eng.Source().NumRows())
 	if err := req.Options.apply(&opts); err != nil {
 		fail(http.StatusUnprocessableEntity, "invalid options: %v", err)
 		return
@@ -150,7 +164,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusUnprocessableEntity, "invalid query: %v", err)
 		return
 	}
-	planKey := req.Table + "\x00" + qfp
+	planKey := fmt.Sprintf("%s\x00%d\x00%d\x00%s", req.Table, entry.incarnation, gen, qfp)
 	resultKey := planKey + "\x00" + target.Fingerprint() + "\x00" + opts.Fingerprint()
 
 	// Result cache: seeded runs are deterministic (the async FastMatch
@@ -181,7 +195,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Plan cache: equal query fingerprints share a resolved Plan.
 	plan, planHit := s.plans.Get(planKey)
 	if !planHit {
-		plan, err = entry.eng.Prepare(q)
+		plan, err = eng.Prepare(q)
 		if err != nil {
 			fail(http.StatusUnprocessableEntity, "planning query: %v", err)
 			return

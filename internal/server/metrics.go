@@ -7,6 +7,7 @@ import (
 
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
+	"fastmatch/internal/ingest"
 )
 
 // latencyWindow is how many recent request latencies each table keeps for
@@ -18,17 +19,31 @@ const latencyWindow = 1024
 // tableMetrics accumulates per-table serving statistics. One instance per
 // registry entry; all methods are safe for concurrent use.
 type tableMetrics struct {
-	mu        sync.Mutex
-	requests  int64
-	errors    int64
-	planHits  int64
-	planMiss  int64
-	resHits   int64
-	resMiss   int64
-	io        engine.IOStats
-	samples   int64
-	latencies [latencyWindow]time.Duration
-	latCount  int // total observations (ring index = latCount % window)
+	mu         sync.Mutex
+	requests   int64
+	errors     int64
+	planHits   int64
+	planMiss   int64
+	resHits    int64
+	resMiss    int64
+	io         engine.IOStats
+	samples    int64
+	appendReqs int64
+	appendRows int64
+	appendErrs int64
+	latencies  [latencyWindow]time.Duration
+	latCount   int // total observations (ring index = latCount % window)
+}
+
+// observeAppend records one append request against the table.
+func (m *tableMetrics) observeAppend(rows int, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appendReqs++
+	m.appendRows += int64(rows)
+	if failed {
+		m.appendErrs++
+	}
 }
 
 // observe records one completed query request. res is nil for cache hits
@@ -74,11 +89,19 @@ type TableMetrics struct {
 	IO engine.IOStats `json:"io"`
 	// SamplesDrawn aggregates HistSim tuples consumed across runs.
 	SamplesDrawn int64 `json:"samples_drawn"`
+	// AppendRequests/AppendedRows/AppendErrors count POST .../rows calls
+	// served for the table (always zero for static backends).
+	AppendRequests int64 `json:"append_requests,omitempty"`
+	AppendedRows   int64 `json:"appended_rows,omitempty"`
+	AppendErrors   int64 `json:"append_errors,omitempty"`
 	// LatencyMS holds quantiles over the most recent requests.
 	LatencyMS LatencyQuantiles `json:"latency_ms"`
 	// Storage reports the table's storage backend and mapped/heap bytes
 	// (filled in by the registry, not the per-table counters).
 	Storage colstore.StorageStats `json:"storage"`
+	// Ingest carries the live table's ingest counters (nil for static
+	// backends; filled in by the registry).
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
 }
 
 // LatencyQuantiles summarizes the recent-latency window in milliseconds.
@@ -109,6 +132,9 @@ func (m *tableMetrics) snapshot() TableMetrics {
 		PlanCacheMisses:   m.planMiss,
 		IO:                m.io,
 		SamplesDrawn:      m.samples,
+		AppendRequests:    m.appendReqs,
+		AppendedRows:      m.appendRows,
+		AppendErrors:      m.appendErrs,
 	}
 	m.mu.Unlock()
 	if n > 0 {

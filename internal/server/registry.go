@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -8,34 +9,48 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
+	"fastmatch/internal/ingest"
 )
 
 // TableSpec describes one dataset to load into the registry: from CSV
-// (parsed and optionally shuffled) or from a binary snapshot (block layout
-// preserved exactly; see colstore.WriteSnapshot). It doubles as the body
-// of POST /v1/admin/load.
+// (parsed and optionally shuffled), from a binary snapshot (block layout
+// preserved exactly; see colstore.WriteSnapshot), or as a live
+// ingest-backed table (a WAL-backed directory accepting appends via
+// POST /v1/tables/{name}/rows). It doubles as the body of
+// POST /v1/admin/load.
 type TableSpec struct {
 	// Name registers the table for /v1/query requests.
 	Name string `json:"name"`
-	// Path locates the data file.
+	// Path locates the data file — or, for the ingest backend, the
+	// table's storage directory (created if absent).
 	Path string `json:"path"`
 	// Format is "csv" or "snapshot"; empty infers from the extension
-	// (.fms/.snap/.snapshot → snapshot, anything else → csv).
+	// (.fms/.snap/.snapshot → snapshot, anything else → csv). Ignored by
+	// the ingest backend.
 	Format string `json:"format,omitempty"`
 	// Measures lists CSV header names to load as numeric measure columns
-	// (ignored for snapshots, which carry their own schema).
+	// (ignored for snapshots, which carry their own schema); for the
+	// ingest backend it declares the schema's measure columns.
 	Measures []string `json:"measures,omitempty"`
-	// Backend selects the storage backend for snapshot tables: "inmem"
-	// (default; parse the snapshot onto the heap) or "mmap" (zero-copy
-	// map a v2 snapshot; v1 snapshots and non-mmap platforms materialize
-	// in memory and report "mmap-fallback"). CSV tables are always
-	// in-memory; combining csv with mmap is an error.
+	// Backend selects the storage backend: "inmem" (default; parse onto
+	// the heap), "mmap" (zero-copy map a v2 snapshot), or "ingest" (live
+	// appendable table rooted at Path, WAL-replayed on load). CSV tables
+	// are always in-memory; combining csv with mmap is an error.
 	Backend string `json:"backend,omitempty"`
-	// BlockSize overrides the CSV table's block granularity (≤ 0 default).
+	// Columns declares the ingest backend's categorical columns when
+	// creating a fresh table directory (an existing directory carries its
+	// own schema and Columns may be omitted).
+	Columns []string `json:"columns,omitempty"`
+	// SealRows overrides the ingest backend's segment-seal granularity
+	// (≤ 0 keeps the stored or default value).
+	SealRows int `json:"seal_rows,omitempty"`
+	// BlockSize overrides the CSV or ingest table's block granularity
+	// (≤ 0 default).
 	BlockSize int `json:"block_size,omitempty"`
 	// ShuffleSeed shuffles CSV rows after loading so sequential scans are
 	// uniform samples. Nil selects seed 1: an unshuffled table would
@@ -52,13 +67,15 @@ type TableInfo struct {
 	BlockSize int    `json:"block_size"`
 	// Columns lists categorical columns with their cardinalities.
 	Columns []ColumnInfo `json:"columns"`
-	// Source is the file the table was loaded from ("(in-memory)" for
-	// tables registered programmatically).
+	// Source is the file (or ingest directory) the table was loaded from
+	// ("(in-memory)" for tables registered programmatically).
 	Source string `json:"source"`
 	// Storage reports the backend serving the table and its mapped/heap
 	// residency.
-	Storage  colstore.StorageStats `json:"storage"`
-	LoadedAt time.Time             `json:"loaded_at"`
+	Storage colstore.StorageStats `json:"storage"`
+	// Ingest carries live-table counters (nil for static backends).
+	Ingest   *ingest.Stats `json:"ingest,omitempty"`
+	LoadedAt time.Time     `json:"loaded_at"`
 }
 
 // ColumnInfo pairs a categorical column name with its cardinality.
@@ -67,48 +84,145 @@ type ColumnInfo struct {
 	Cardinality int    `json:"cardinality"`
 }
 
-// tableEntry is one registered table: the shared engine plus its metrics.
+// Registry errors the handlers map onto HTTP statuses.
+var (
+	errTableNotFound = errors.New("table not found")
+	errTableBusy     = errors.New("table busy")
+	errNotIngest     = errors.New("table backend does not accept appends")
+)
+
+// tableEntry is one registered table. Static backends bind one Engine at
+// load time; ingest-backed tables bind an Engine per data generation —
+// the entry caches the latest (engine, view) pair and refreshes it when
+// the generation advances, so repeated queries between appends share
+// plans, stitched indexes, and the engine's singleflight caches.
 type tableEntry struct {
 	name     string
 	source   string
-	eng      *engine.Engine
 	metrics  *tableMetrics
 	loadedAt time.Time
+	// incarnation distinguishes same-named tables across unload/load
+	// cycles in the plan and result cache keys.
+	incarnation uint64
+	// inflight counts requests currently using the entry; unload refuses
+	// (409) while it is nonzero.
+	inflight atomic.Int64
+
+	eng *engine.Engine // static backends
+
+	live     *ingest.WritableTable // ingest backend
+	liveMu   sync.Mutex
+	liveGen  uint64
+	liveEng  *engine.Engine
+	liveView *ingest.TableView
+}
+
+// release pairs with registry.acquire.
+func (e *tableEntry) release() { e.inflight.Add(-1) }
+
+// engineNow returns the engine serving the entry's current data version,
+// its generation (0 for static tables), and a cleanup the caller must
+// run when done with the engine. For live tables the underlying view is
+// retained for the caller, so a concurrent append (which swaps the
+// cached view) can never release pinned segments out from under a
+// running query.
+func (e *tableEntry) engineNow() (*engine.Engine, uint64, func(), error) {
+	if e.live == nil {
+		return e.eng, 0, func() {}, nil
+	}
+	e.liveMu.Lock()
+	defer e.liveMu.Unlock()
+	if e.liveEng == nil || e.live.Generation() != e.liveGen {
+		v, err := e.live.View()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if e.liveView != nil {
+			e.liveView.Release()
+		}
+		e.liveView = v
+		e.liveGen = v.Generation()
+		e.liveEng = engine.New(v)
+	}
+	view := e.liveView
+	view.Retain()
+	return e.liveEng, e.liveGen, view.Release, nil
+}
+
+// close releases the entry's storage resources (unload path; the caller
+// guarantees no requests are in flight).
+func (e *tableEntry) close() error {
+	if e.live != nil {
+		e.liveMu.Lock()
+		if e.liveView != nil {
+			e.liveView.Release()
+			e.liveView = nil
+			e.liveEng = nil
+		}
+		e.liveMu.Unlock()
+		return e.live.Close()
+	}
+	if c, ok := e.eng.Source().(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // registry holds the named tables a server can answer queries over. One
-// Engine per table is shared by all requests (the engine is concurrent-
-// safe); the registry itself allows concurrent lookups during admin loads.
+// Engine per table (per generation, for live tables) is shared by all
+// requests; the registry itself allows concurrent lookups during admin
+// loads and unloads.
 type registry struct {
-	mu      sync.RWMutex
-	entries map[string]*tableEntry
+	mu           sync.RWMutex
+	entries      map[string]*tableEntry
+	incarnations map[string]uint64
 }
 
 func newRegistry() *registry {
-	return &registry{entries: make(map[string]*tableEntry)}
+	return &registry{
+		entries:      make(map[string]*tableEntry),
+		incarnations: make(map[string]uint64),
+	}
 }
 
-// register installs a storage source under a name. Re-registering a name
-// is an error: swapping a live table out from under in-flight queries
-// (and under cached plans) needs a versioning scheme, not a silent
-// overwrite.
-func (r *registry) register(name, source string, src colstore.Reader) error {
-	if name == "" {
+// add installs an entry, assigning its incarnation. Re-registering a
+// live name is an error: swapping a table out from under in-flight
+// queries needs an unload (which waits for them to drain) first.
+func (r *registry) add(e *tableEntry) error {
+	if e.name == "" {
 		return fmt.Errorf("server: table name must not be empty")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.entries[name]; dup {
-		return fmt.Errorf("server: table %q already registered", name)
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("server: table %q already registered", e.name)
 	}
-	r.entries[name] = &tableEntry{
+	r.incarnations[e.name]++
+	e.incarnation = r.incarnations[e.name]
+	r.entries[e.name] = e
+	return nil
+}
+
+// register installs a static storage source under a name.
+func (r *registry) register(name, source string, src colstore.Reader) error {
+	return r.add(&tableEntry{
 		name:     name,
 		source:   source,
 		eng:      engine.New(src),
 		metrics:  &tableMetrics{},
 		loadedAt: time.Now(),
-	}
-	return nil
+	})
+}
+
+// registerLive installs an open writable table under a name.
+func (r *registry) registerLive(name, source string, wt *ingest.WritableTable) error {
+	return r.add(&tableEntry{
+		name:     name,
+		source:   source,
+		live:     wt,
+		metrics:  &tableMetrics{},
+		loadedAt: time.Now(),
+	})
 }
 
 // load reads the spec's file through the selected storage backend and
@@ -120,6 +234,25 @@ func (r *registry) load(spec TableSpec) error {
 	if spec.Path == "" {
 		return fmt.Errorf("server: table %q needs a path", spec.Name)
 	}
+	backend := spec.Backend
+	if backend == "" {
+		backend = "inmem"
+	}
+	if backend == "ingest" {
+		wt, err := ingest.Open(spec.Path, ingest.Schema{
+			Columns:   spec.Columns,
+			Measures:  spec.Measures,
+			BlockSize: spec.BlockSize,
+		}, ingest.Options{SealRows: spec.SealRows})
+		if err != nil {
+			return fmt.Errorf("server: opening ingest table %q at %s: %w", spec.Name, spec.Path, err)
+		}
+		if err := r.registerLive(spec.Name, spec.Path, wt); err != nil {
+			wt.Close()
+			return err
+		}
+		return nil
+	}
 	format := spec.Format
 	if format == "" {
 		switch strings.ToLower(filepath.Ext(spec.Path)) {
@@ -129,12 +262,8 @@ func (r *registry) load(spec TableSpec) error {
 			format = "csv"
 		}
 	}
-	backend := spec.Backend
-	if backend == "" {
-		backend = "inmem"
-	}
 	if backend != "inmem" && backend != "mmap" {
-		return fmt.Errorf("server: table %q: unknown backend %q (want inmem or mmap)", spec.Name, backend)
+		return fmt.Errorf("server: table %q: unknown backend %q (want inmem, mmap, or ingest)", spec.Name, backend)
 	}
 	var src colstore.Reader
 	var err error
@@ -184,6 +313,25 @@ func (r *registry) load(spec TableSpec) error {
 	return nil
 }
 
+// unload removes a table, refusing while requests are in flight. The
+// check happens under the write lock, which excludes concurrent
+// acquires, so a successful unload closes storage no request is using.
+func (r *registry) unload(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return errTableNotFound
+	}
+	if e.inflight.Load() != 0 {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %d requests in flight", errTableBusy, e.inflight.Load())
+	}
+	delete(r.entries, name)
+	r.mu.Unlock()
+	return e.close()
+}
+
 // count returns the number of registered tables.
 func (r *registry) count() int {
 	r.mu.RLock()
@@ -191,36 +339,73 @@ func (r *registry) count() int {
 	return len(r.entries)
 }
 
-// get returns the entry for a table name.
-func (r *registry) get(name string) (*tableEntry, bool) {
+// acquire returns the entry for a table name with its inflight counter
+// raised; callers must pair it with entry.release. Taking the counter
+// under the read lock excludes a racing unload.
+func (r *registry) acquire(name string) (*tableEntry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
+	if ok {
+		e.inflight.Add(1)
+	}
 	return e, ok
+}
+
+// acquireAll copies the entry list with every inflight counter raised
+// (excluding concurrent unloads while the caller iterates); the caller
+// must release each entry.
+func (r *registry) acquireAll() []*tableEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*tableEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		e.inflight.Add(1)
+		out = append(out, e)
+	}
+	return out
+}
+
+// info renders one entry's TableInfo.
+func (e *tableEntry) info() (TableInfo, error) {
+	eng, _, done, err := e.engineNow()
+	if err != nil {
+		return TableInfo{}, err
+	}
+	defer done()
+	src := eng.Source()
+	info := TableInfo{
+		Name:      e.name,
+		Rows:      src.NumRows(),
+		Blocks:    src.NumBlocks(),
+		BlockSize: src.BlockSize(),
+		Source:    e.source,
+		Storage:   src.Storage(),
+		LoadedAt:  e.loadedAt,
+	}
+	if e.live != nil {
+		st := e.live.Stats()
+		info.Ingest = &st
+	}
+	for _, cn := range src.Columns() {
+		col, err := src.ColumnByName(cn)
+		if err != nil {
+			continue
+		}
+		info.Columns = append(info.Columns, ColumnInfo{Name: cn, Cardinality: col.Cardinality()})
+	}
+	return info, nil
 }
 
 // list returns info for all registered tables, name-sorted.
 func (r *registry) list() []TableInfo {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]TableInfo, 0, len(r.entries))
-	for _, e := range r.entries {
-		src := e.eng.Source()
-		info := TableInfo{
-			Name:      e.name,
-			Rows:      src.NumRows(),
-			Blocks:    src.NumBlocks(),
-			BlockSize: src.BlockSize(),
-			Source:    e.source,
-			Storage:   src.Storage(),
-			LoadedAt:  e.loadedAt,
-		}
-		for _, cn := range src.Columns() {
-			col, err := src.ColumnByName(cn)
-			if err != nil {
-				continue
-			}
-			info.Columns = append(info.Columns, ColumnInfo{Name: cn, Cardinality: col.Cardinality()})
+	entries := r.acquireAll()
+	out := make([]TableInfo, 0, len(entries))
+	for _, e := range entries {
+		info, err := e.info()
+		e.release()
+		if err != nil {
+			continue // table closed mid-listing
 		}
 		out = append(out, info)
 	}
@@ -230,13 +415,20 @@ func (r *registry) list() []TableInfo {
 
 // metricsSnapshot returns per-table metrics, name-keyed.
 func (r *registry) metricsSnapshot() map[string]TableMetrics {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make(map[string]TableMetrics, len(r.entries))
-	for name, e := range r.entries {
+	entries := r.acquireAll()
+	out := make(map[string]TableMetrics, len(entries))
+	for _, e := range entries {
 		m := e.metrics.snapshot()
-		m.Storage = e.eng.Source().Storage()
-		out[name] = m
+		if eng, _, done, err := e.engineNow(); err == nil {
+			m.Storage = eng.Source().Storage()
+			done()
+		}
+		if e.live != nil {
+			st := e.live.Stats()
+			m.Ingest = &st
+		}
+		out[e.name] = m
+		e.release()
 	}
 	return out
 }

@@ -7,15 +7,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/query       answer a top-k histogram matching query
-//	GET  /v1/tables      list registered tables and their schemas
-//	GET  /v1/healthz     liveness probe
-//	GET  /v1/stats       per-table metrics, cache and admission counters
-//	POST /v1/admin/load  load another table from disk (if enabled)
+//	POST /v1/query               answer a top-k histogram matching query
+//	POST /v1/tables/{name}/rows  append rows to an ingest-backed table
+//	GET  /v1/tables              list registered tables and their schemas
+//	GET  /v1/healthz             liveness probe
+//	GET  /v1/stats               per-table metrics, cache and admission counters
+//	POST /v1/admin/load          load another table from disk (if enabled)
+//	POST /v1/admin/unload        drop a table from the registry (if enabled)
 //
 // The package is transport-thin by design: everything interesting —
-// planning, sampling, guarantees — lives in internal/engine, and the
-// server only adds naming, reuse, and back-pressure.
+// planning, sampling, guarantees — lives in internal/engine (and, for
+// live tables, internal/ingest), and the server only adds naming,
+// reuse, and back-pressure.
 package server
 
 import (
@@ -25,6 +28,7 @@ import (
 
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
+	"fastmatch/internal/ingest"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -107,6 +111,18 @@ func (s *Server) LoadTable(spec TableSpec) error { return s.reg.load(spec) }
 func (s *Server) RegisterTable(name string, src colstore.Reader) error {
 	return s.reg.register(name, "(in-memory)", src)
 }
+
+// RegisterLiveTable registers an open ingest table; the server serves
+// queries over its rolling views and appends via
+// POST /v1/tables/{name}/rows. The server takes ownership: UnloadTable
+// (or /v1/admin/unload) closes it.
+func (s *Server) RegisterLiveTable(name string, wt *ingest.WritableTable) error {
+	return s.reg.registerLive(name, wt.Dir(), wt)
+}
+
+// UnloadTable removes a table from the registry and closes its storage,
+// failing (errors matching "table busy") while requests are in flight.
+func (s *Server) UnloadTable(name string) error { return s.reg.unload(name) }
 
 // Tables lists the registered tables.
 func (s *Server) Tables() []TableInfo { return s.reg.list() }

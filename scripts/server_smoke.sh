@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Server smoke test: generate a dataset, cold-start fastmatchd from a
-# binary snapshot, run scripted queries, and assert on the responses.
+# binary snapshot, run scripted queries, and assert on the responses;
+# then exercise the live-ingestion path end to end (stream rows into an
+# ingest-backed table, query mid-ingest, kill -9 the daemon, restart,
+# and assert the WAL replay recovered every acked row).
 # Used by CI and runnable locally: ./scripts/server_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,6 +18,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
+wait_healthy() {
+  for i in $(seq 1 100); do
+    if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$PID" 2>/dev/null; then echo "fastmatchd died during startup" >&2; exit 1; fi
+    sleep 0.1
+  done
+  curl -fsS "$BASE/v1/healthz" >/dev/null
+}
+
 echo "== building"
 go build -o "$TMP/datagen" ./cmd/datagen
 go build -o "$TMP/fastmatchd" ./cmd/fastmatchd
@@ -27,12 +39,7 @@ echo "== starting fastmatchd (same snapshot on the inmem and mmap backends)"
   -table "flights=$TMP/flights.fms" \
   -table "flightsmm=$TMP/flights.fms?backend=mmap" &
 PID=$!
-
-for i in $(seq 1 100); do
-  if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then break; fi
-  if ! kill -0 "$PID" 2>/dev/null; then echo "fastmatchd died during startup" >&2; exit 1; fi
-  sleep 0.1
-done
+wait_healthy
 curl -fsS "$BASE/v1/healthz" | grep -q '"status":"ok"' || { echo "healthz not ok" >&2; exit 1; }
 
 echo "== /v1/tables lists the dataset"
@@ -77,5 +84,50 @@ echo "== malformed requests are rejected cleanly"
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/query" -d '{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"epsilon":-1}}')"
 [ "$CODE" = "422" ] || { echo "invalid epsilon returned $CODE, want 422" >&2; exit 1; }
 curl -fsS "$BASE/v1/healthz" >/dev/null || { echo "server unhealthy after bad request" >&2; exit 1; }
+
+echo "== restarting with a live ingest-backed table"
+kill "$PID" && wait "$PID" 2>/dev/null || true
+LIVEDIR="$TMP/livedir"
+start_live() {
+  "$TMP/fastmatchd" -listen "127.0.0.1:${PORT}" -admin \
+    -table "live=$LIVEDIR?backend=ingest&columns=Origin,Dest,DepartureHour,DayOfWeek,DayOfMonth,DepDelayBin,ArrDelayBin&seal=4096" &
+  PID=$!
+  wait_healthy
+}
+start_live
+
+echo "== streaming generated rows into the live table"
+"$TMP/datagen" -dataset flights -rows 20000 -out "" \
+  -stream "$BASE/v1/tables/live/rows" -stream-batch 2000 2>/dev/null
+TABLES="$(curl -fsS "$BASE/v1/tables")"
+echo "$TABLES" | grep -q '"rows":20000'        || { echo "ingest row count wrong: $TABLES" >&2; exit 1; }
+echo "$TABLES" | grep -q '"backend":"ingest"'  || { echo "ingest backend not reported: $TABLES" >&2; exit 1; }
+echo "$TABLES" | grep -q '"appended_rows":20000' || { echo "ingest stats missing: $TABLES" >&2; exit 1; }
+
+echo "== querying mid-ingest (append more while a query round-trips)"
+LIVEQ='{"table":"live","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scan","seed":7}}'
+curl -fsS -X POST "$BASE/v1/tables/live/rows" -H 'Content-Type: text/csv' \
+  --data-binary $'Origin,Dest,DepartureHour,DayOfWeek,DayOfMonth,DepDelayBin,ArrDelayBin\nOrigin_1,Dest_2,DepartureHour_3,DayOfWeek_4,DayOfMonth_5,DepDelayBin_6,ArrDelayBin_7\n' >/dev/null
+R5="$(curl -fsS -X POST "$BASE/v1/query" -d "$LIVEQ")"
+echo "$R5" | grep -q '"TuplesRead":20001' || { echo "live scan did not see appended row: $R5" >&2; exit 1; }
+R6="$(curl -fsS -X POST "$BASE/v1/query" -d "$LIVEQ")"
+echo "$R6" | grep -q '"cached":true' || { echo "same-generation repeat not cached: $R6" >&2; exit 1; }
+
+echo "== kill -9 and restart: WAL replay must recover every acked row"
+kill -9 "$PID"; wait "$PID" 2>/dev/null || true
+sleep 0.3
+start_live
+TABLES="$(curl -fsS "$BASE/v1/tables")"
+echo "$TABLES" | grep -q '"rows":20001' || { echo "post-replay row count wrong: $TABLES" >&2; exit 1; }
+R7="$(curl -fsS -X POST "$BASE/v1/query" -d "$LIVEQ")"
+echo "$R7" | grep -q '"TuplesRead":20001' || { echo "post-replay scan wrong: $R7" >&2; exit 1; }
+
+echo "== admin unload drops the table; unknown unload is 404"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/admin/unload" -d '{"name":"nosuch"}')"
+[ "$CODE" = "404" ] || { echo "unload unknown returned $CODE, want 404" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/admin/unload" -d '{"name":"live"}')"
+[ "$CODE" = "200" ] || { echo "unload live returned $CODE, want 200" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/query" -d "$LIVEQ")"
+[ "$CODE" = "404" ] || { echo "query after unload returned $CODE, want 404" >&2; exit 1; }
 
 echo "server smoke OK"
