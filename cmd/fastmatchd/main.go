@@ -31,8 +31,19 @@
 // serves the table zero-copy from a file mapping; ?backend=ingest treats
 // the path as a live table directory and accepts columns= (schema, for
 // fresh directories), seal=N (segment seal granularity in rows), and
-// block=N (block size). CSV and ingest measure columns are named with
-// -measures table:col1,col2.
+// block=N (block size). Every table accepts timeout=DUR (per-request
+// query timeout for this table, e.g. timeout=2s; overrides
+// -query-timeout, timeout=-1ms disables), and static tables accept
+// blockdelay=DUR (artificial per-block read latency — a storage-latency
+// simulator for demonstrating progressive delivery and cancellation).
+// CSV and ingest measure columns are named with -measures table:col1,col2.
+//
+// Progressive queries: POST /v1/query/stream answers with NDJSON — one
+// progress frame per HistSim round, then a terminal result frame
+// byte-identical to the blocking endpoint's answer. Timed-out runs
+// answer 200 with the best-effort partial result (flagged "partial");
+// disconnected clients cancel the underlying scan and are counted in
+// /v1/stats.
 package main
 
 import (
@@ -61,6 +72,7 @@ func main() {
 	resultCache := flag.Int("result-cache", 1024, "result cache entries (negative disables)")
 	admin := flag.Bool("admin", false, "expose POST /v1/admin/load (trusted networks only)")
 	shuffleSeed := flag.Int64("shuffle-seed", 1, "row shuffle seed for CSV tables (negative = keep file order; snapshots always keep their layout)")
+	queryTimeout := flag.Duration("query-timeout", 0, "default per-request query timeout; past it the response carries the best-effort partial result (0 = none, per-table timeout= overrides)")
 
 	var tables []server.TableSpec
 	flag.Func("table", "dataset to serve, as name=path, name=path?backend=mmap, or name=dir?backend=ingest&columns=a,b (repeatable)", func(v string) error {
@@ -76,9 +88,9 @@ func main() {
 			}
 			for k := range opts {
 				switch k {
-				case "backend", "columns", "seal", "block":
+				case "backend", "columns", "seal", "block", "timeout", "blockdelay":
 				default:
-					return fmt.Errorf("table %q: unknown option %q (want backend, columns, seal, or block)", name, k)
+					return fmt.Errorf("table %q: unknown option %q (want backend, columns, seal, block, timeout, or blockdelay)", name, k)
 				}
 			}
 			spec.Path = base
@@ -100,6 +112,24 @@ func main() {
 					}
 					*numOpt.dst = n
 				}
+			}
+			if s := opts.Get("timeout"); s != "" {
+				d, err := time.ParseDuration(s)
+				if err != nil {
+					return fmt.Errorf("table %q: bad timeout=%q: %v", name, s, err)
+				}
+				if d < 0 {
+					spec.QueryTimeoutMS = -1 // explicitly no timeout
+				} else {
+					spec.QueryTimeoutMS = d.Milliseconds()
+				}
+			}
+			if s := opts.Get("blockdelay"); s != "" {
+				d, err := time.ParseDuration(s)
+				if err != nil || d < 0 {
+					return fmt.Errorf("table %q: bad blockdelay=%q", name, s)
+				}
+				spec.BlockDelayUS = d.Microseconds()
 			}
 		}
 		tables = append(tables, spec)
@@ -128,6 +158,7 @@ func main() {
 		PlanCacheSize:   *planCache,
 		ResultCacheSize: *resultCache,
 		EnableAdmin:     *admin,
+		QueryTimeout:    *queryTimeout,
 	})
 	for _, spec := range tables {
 		spec.Measures = measures[spec.Name]

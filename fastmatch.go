@@ -25,9 +25,38 @@
 // is within ε (normalized L1) of its true histogram, and no omitted
 // candidate with selectivity ≥ σ is more than ε closer to the target than
 // the furthest returned one.
+//
+// # Progressive, cancellable queries
+//
+// HistSim refines its answer in rounds, so useful interim answers exist
+// long before termination. The context-aware entry points expose that:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	opts := fastmatch.DefaultOptions(tbl.NumRows())
+//	opts.OnProgress = func(p fastmatch.Progress) {
+//	    fmt.Printf("%s round %d: best=%v\n", p.Phase, p.Round, p.TopK)
+//	}
+//	res, err := eng.RunContext(ctx, q, target, opts)
+//
+// Every executor checks the context at block granularity and unwinds
+// cleanly. A run cut short — context canceled, deadline passed,
+// Options.Deadline reached, or Options.RowBudget exhausted — returns a
+// best-effort partial Result (Result.Partial set, candidates ranked by
+// the estimates at the stop point, no guarantees attached) together with
+// a typed error: ErrCanceled or ErrBudgetExhausted. OnProgress receives
+// interim state after every HistSim round: the current top-k with
+// distance estimates, rows and blocks read, and I/O counters.
+//
+// The server exposes the same contract over HTTP: POST /v1/query/stream
+// answers with NDJSON progress frames followed by a terminal result
+// frame, per-table query timeouts answer 200 with the partial result,
+// and a disconnected client cancels its scan (counted in /v1/stats).
 package fastmatch
 
 import (
+	"time"
+
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/core"
 	"fastmatch/internal/engine"
@@ -84,10 +113,16 @@ type (
 	Target = engine.Target
 	// Options bundles HistSim parameters with the executor choice.
 	Options = engine.Options
-	// Result is a complete query answer.
+	// Result is a complete query answer (or, when Result.Partial is set,
+	// a best-effort answer from a run cut short).
 	Result = engine.Result
 	// Match is one returned candidate.
 	Match = engine.Match
+	// Progress is the interim state of a run in flight, delivered
+	// through Options.OnProgress.
+	Progress = engine.Progress
+	// ProgressMatch is one candidate in a Progress ranking.
+	ProgressMatch = engine.ProgressMatch
 	// Executor selects the execution strategy.
 	Executor = engine.Executor
 	// Params are the HistSim knobs (k, ε, δ, σ, m, metric).
@@ -121,6 +156,18 @@ const (
 	MetricL2 = histogram.MetricL2
 )
 
+// Typed termination errors for runs cut short (test with errors.Is).
+// Both accompany a best-effort partial Result — see the package doc's
+// progressive-queries section.
+var (
+	// ErrCanceled marks a run stopped by its context or
+	// Options.Deadline; the chain also wraps the context error
+	// (context.Canceled vs context.DeadlineExceeded).
+	ErrCanceled = engine.ErrCanceled
+	// ErrBudgetExhausted marks a run stopped by Options.RowBudget.
+	ErrBudgetExhausted = engine.ErrBudgetExhausted
+)
+
 // Re-exported serving types: run queries behind a long-lived HTTP daemon
 // (cmd/fastmatchd) or embed a Server in your own process.
 type (
@@ -133,7 +180,18 @@ type (
 	// TableSpec describes a dataset to load (CSV, binary snapshot, or a
 	// live ingest directory).
 	TableSpec = server.TableSpec
+	// StreamFrame is one NDJSON line of a POST /v1/query/stream
+	// response: progress frames, then one terminal result/error frame.
+	StreamFrame = server.StreamFrame
 )
+
+// NewThrottledReader wraps a storage backend so every block read costs
+// at least perBlock of wall-clock time — a storage-latency simulator for
+// demonstrating and testing progressive delivery, timeouts, and
+// cancellation without multi-gigabyte fixtures.
+func NewThrottledReader(src Reader, perBlock time.Duration) Reader {
+	return colstore.NewThrottledReader(src, perBlock)
+}
 
 // Re-exported live-ingestion types (internal/ingest): a WritableTable
 // accepts appends — WAL-logged for durability, folded into immutable

@@ -1,0 +1,52 @@
+package colstore
+
+import (
+	"io"
+	"time"
+)
+
+// ThrottledReader wraps a Reader and sleeps for a fixed duration on every
+// BlockSpan call — the one call every executor makes exactly once per
+// block it reads. It simulates slow block storage (cold object stores,
+// saturated disks) so that progressive delivery, per-request timeouts,
+// and cancellation can be exercised deterministically against datasets
+// small enough for tests and smoke scripts. It is not a production
+// backend: it exists so that "the scan stopped when the client went
+// away" is observable without multi-gigabyte fixtures.
+type ThrottledReader struct {
+	Reader
+	perBlock time.Duration
+}
+
+// NewThrottledReader wraps src so every block access costs at least
+// perBlock of wall-clock time. A non-positive perBlock returns src
+// unwrapped.
+func NewThrottledReader(src Reader, perBlock time.Duration) Reader {
+	if perBlock <= 0 {
+		return src
+	}
+	return &ThrottledReader{Reader: src, perBlock: perBlock}
+}
+
+// BlockSpan implements Reader, paying the simulated block latency.
+func (t *ThrottledReader) BlockSpan(b int) (lo, hi int) {
+	time.Sleep(t.perBlock)
+	return t.Reader.BlockSpan(b)
+}
+
+// Storage implements Reader, reporting the underlying backend with a
+// "+throttled" marker so stats make the simulation visible.
+func (t *ThrottledReader) Storage() StorageStats {
+	st := t.Reader.Storage()
+	st.Backend += "+throttled"
+	return st
+}
+
+// Close closes the underlying reader when it is closeable (the registry
+// closes tables through this on unload).
+func (t *ThrottledReader) Close() error {
+	if c, ok := t.Reader.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

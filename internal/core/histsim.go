@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -22,6 +23,11 @@ type Result struct {
 	// Exact reports that the data was fully consumed, so the output is
 	// the exact answer rather than an estimate.
 	Exact bool
+	// Partial reports that the run was interrupted (see ErrInterrupted)
+	// before its guarantees were established: TopK is the best-effort
+	// ranking by the cumulative estimates at the stop point, with no
+	// separation or reconstruction guarantee attached.
+	Partial bool
 	// Stats carries run diagnostics.
 	Stats RunStats
 }
@@ -63,6 +69,7 @@ type state struct {
 	sampler Sampler
 	target  *histogram.Histogram
 	params  Params
+	obs     Observer
 
 	nCand  int
 	groups int
@@ -79,6 +86,18 @@ type state struct {
 // Run executes HistSim against the sampler for the given visual target.
 // The target histogram's group count must equal sampler.Groups().
 func Run(s Sampler, target *histogram.Histogram, p Params) (*Result, error) {
+	return RunObserved(s, target, p, nil)
+}
+
+// RunObserved is Run with an optional progress Observer, called after
+// stage 1, after every stage-2 round, and after stage 3's top-up.
+//
+// If the sampler interrupts the run (an error matching ErrInterrupted —
+// samplers do this for cancellation, deadlines, and sample budgets),
+// RunObserved returns a best-effort partial Result (Partial set, TopK
+// ranked by the cumulative estimates at the stop point) alongside that
+// error; every other sampler error returns a nil Result as before.
+func RunObserved(s Sampler, target *histogram.Histogram, p Params, obs Observer) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -95,6 +114,7 @@ func Run(s Sampler, target *histogram.Histogram, p Params) (*Result, error) {
 		sampler: s,
 		target:  target,
 		params:  p,
+		obs:     obs,
 		nCand:   s.NumCandidates(),
 		groups:  s.Groups(),
 		need:    make(map[int]int),
@@ -109,11 +129,18 @@ func Run(s Sampler, target *histogram.Histogram, p Params) (*Result, error) {
 
 	exhausted, err := st.stage1()
 	if err != nil {
+		if errors.Is(err, ErrInterrupted) {
+			return st.salvage(err)
+		}
 		return nil, err
 	}
+	st.emit("stage1", 0)
 	if !exhausted {
 		exhausted, err = st.stage2()
 		if err != nil {
+			if errors.Is(err, ErrInterrupted) {
+				return st.salvage(err)
+			}
 			return nil, err
 		}
 	}
@@ -122,8 +149,12 @@ func Run(s Sampler, target *histogram.Histogram, p Params) (*Result, error) {
 		return st.res, nil
 	}
 	if err := st.stage3(); err != nil {
+		if errors.Is(err, ErrInterrupted) {
+			return st.salvage(err)
+		}
 		return nil, err
 	}
+	st.emit("stage3", 0)
 	return st.res, nil
 }
 
@@ -144,6 +175,11 @@ func (st *state) stage1() (bool, error) {
 	}
 	batch, err := st.sampler.Stage1(m)
 	if err != nil {
+		// An interrupting sampler still returns the samples it drew;
+		// fold them in so the salvaged partial answer uses them.
+		if errors.Is(err, ErrInterrupted) && batch != nil {
+			st.accumulate(batch, &st.res.Stats.SamplesStage1)
+		}
 		return false, fmt.Errorf("core: stage 1 sampling: %w", err)
 	}
 	st.accumulate(batch, &st.res.Stats.SamplesStage1)
@@ -218,6 +254,9 @@ func (st *state) stage2() (bool, error) {
 		st.res.Stats.RoundDemands = append(st.res.Stats.RoundDemands, demandOf(st.need, split))
 		batch, err := st.sampler.SampleUntil(st.need)
 		if err != nil {
+			if errors.Is(err, ErrInterrupted) && batch != nil {
+				st.accumulate(batch, &st.res.Stats.SamplesStage2)
+			}
 			return false, fmt.Errorf("core: stage 2 sampling: %w", err)
 		}
 
@@ -225,9 +264,11 @@ func (st *state) stage2() (bool, error) {
 			st.accumulate(batch, &st.res.Stats.SamplesStage2)
 			st.refreshTau()
 			st.setTopK(mSet, k)
+			st.emit("stage2", round)
 			return false, nil
 		}
 		st.accumulate(batch, &st.res.Stats.SamplesStage2)
+		st.emit("stage2", round)
 		if batch.Exhausted {
 			return true, nil
 		}
@@ -372,6 +413,9 @@ func (st *state) stage3() error {
 	if len(st.need) > 0 {
 		batch, err := st.sampler.SampleUntil(st.need)
 		if err != nil {
+			if errors.Is(err, ErrInterrupted) && batch != nil {
+				st.accumulate(batch, &st.res.Stats.SamplesStage3)
+			}
 			return fmt.Errorf("core: stage 3 sampling: %w", err)
 		}
 		st.accumulate(batch, &st.res.Stats.SamplesStage3)

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+
+	"fastmatch/internal/histogram"
+)
+
+// ErrInterrupted is the sentinel a Sampler wraps to signal a clean early
+// stop: the run should not continue, but the samples delivered so far are
+// valid uniform draws, so HistSim can still rank candidates from its
+// cumulative estimates. A sampler reporting an interruption returns the
+// batch it accumulated up to the stop point together with an error
+// matching this sentinel (errors.Is); Run then folds that batch in and
+// returns a best-effort partial Result alongside the error. Callers
+// distinguish the stop's cause (cancellation, deadline, budget) from the
+// other errors wrapped in the same chain.
+var ErrInterrupted = errors.New("core: run interrupted")
+
+// Snapshot is the interim state Run reports through an Observer: where
+// the algorithm is, how much it has consumed, and its current best
+// ranking. TopK is ordered ascending by estimated distance; the estimates
+// carry no guarantee until the run terminates.
+type Snapshot struct {
+	// Phase is "stage1", "stage2", or "stage3".
+	Phase string
+	// Round is the stage-2 round just completed (0 outside stage 2).
+	Round int
+	// TopK is the current best-k by cumulative estimated distance.
+	TopK []histogram.Ranked
+	// ActiveCandidates counts candidates still under consideration
+	// (post-pruning).
+	ActiveCandidates int
+	// Drawn is the cumulative tuples consumed so far.
+	Drawn int64
+}
+
+// Observer receives interim snapshots during a run. It is called
+// synchronously from the run's goroutine after stage 1, after every
+// stage-2 round, and after stage 3's top-up — so implementations must be
+// fast and must not block. A nil Observer costs nothing.
+type Observer func(Snapshot)
+
+// emit reports the current state to the observer, if any. The interim
+// ranking covers only observed candidates, for the same reason salvage
+// does: an empty estimate reads as uniform, not as unknown.
+func (st *state) emit(phase string, round int) {
+	if st.obs == nil {
+		return
+	}
+	st.refreshTau()
+	active := st.a
+	if active == nil {
+		active = allCandidates(st.nCand)
+	}
+	k := st.params.K
+	if st.params.KRange.KMax > 0 {
+		k = st.params.KRange.KMax
+	}
+	st.obs(Snapshot{
+		Phase:            phase,
+		Round:            round,
+		TopK:             histogram.TopK(st.tau, st.observed(active), k),
+		ActiveCandidates: len(active),
+		Drawn:            st.drawn,
+	})
+}
+
+// salvage builds the best-effort partial answer after an interruption
+// (the stages have already folded the interrupted batch in): the current
+// top-k by cumulative estimated distance, flagged Partial. A matching set
+// already fixed by stage 2 is kept (only its reconstruction guarantee is
+// missing); otherwise the top-k is chosen fresh from the candidates that
+// were actually observed — a zero-sample candidate's empty estimate
+// normalizes to the uniform distribution, which would rank never-seen
+// candidates as perfect matches for uniform-like targets. An
+// interruption before any sample lands returns an empty TopK. The
+// interrupting error is returned unchanged so callers can branch on its
+// cause.
+func (st *state) salvage(cause error) (*Result, error) {
+	if st.a == nil {
+		// Interrupted before stage 1 chose the active set.
+		st.a = allCandidates(st.nCand)
+	}
+	st.res.Partial = true
+	st.refreshTau()
+	if len(st.res.TopK) == 0 {
+		obs := st.observed(st.a)
+		k := st.chooseK()
+		if len(obs) < k {
+			k = len(obs)
+		}
+		st.setTopK(obs, k)
+	}
+	st.finalize()
+	return st.res, cause
+}
+
+// observed filters ids down to candidates with at least one sample.
+func (st *state) observed(ids []int) []int {
+	out := make([]int, 0, len(ids))
+	for _, i := range ids {
+		if st.n[i] > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func allCandidates(n int) []int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fastmatch/internal/core"
+)
+
+// Typed run-termination errors. A run cut short returns one of these
+// (test with errors.Is) alongside a best-effort partial Result — see
+// Plan.RunContext for the full progressive contract.
+var (
+	// ErrCanceled marks a run stopped by its context (cancellation or
+	// deadline) or by Options.Deadline. The chain also wraps the
+	// underlying context error, so errors.Is(err, context.Canceled)
+	// distinguishes an abandoned request from errors.Is(err,
+	// context.DeadlineExceeded), a timed-out one.
+	ErrCanceled = errors.New("engine: run canceled")
+	// ErrBudgetExhausted marks a run stopped by Options.RowBudget.
+	ErrBudgetExhausted = errors.New("engine: row budget exhausted")
+)
+
+// Progress is the interim state of a run in flight, delivered through
+// Options.OnProgress. Sampling executors emit one after stage 1, after
+// every HistSim round, and after stage 3; the sequential Scan executor
+// emits one every few hundred blocks of its pass (ParallelScan's workers
+// race, so it reports no interim frames). Estimates carry no guarantee
+// until the run terminates.
+type Progress struct {
+	// Phase is "stage1", "stage2", "stage3" (sampling executors) or
+	// "scan" (exact pass).
+	Phase string `json:"phase"`
+	// Round is the HistSim stage-2 round just completed (0 elsewhere).
+	Round int `json:"round,omitempty"`
+	// TopK is the current best-k by estimated distance, ascending
+	// (empty for "scan" frames, which track the pass, not the ranking).
+	TopK []ProgressMatch `json:"topk,omitempty"`
+	// ActiveCandidates counts candidates still under consideration.
+	ActiveCandidates int `json:"active_candidates,omitempty"`
+	// SamplesDrawn is the cumulative tuples HistSim has consumed.
+	SamplesDrawn int64 `json:"samples_drawn"`
+	// IO is a snapshot of the run's block-level I/O counters.
+	IO IOStats `json:"io"`
+	// Elapsed is wall-clock time since the run began. It is the one
+	// nondeterministic field; consumers comparing progress sequences
+	// should zero it.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// ProgressMatch is one candidate in a Progress ranking: the current
+// distance estimate, without the (large) reconstructed histogram.
+type ProgressMatch struct {
+	ID       int     `json:"id"`
+	Label    string  `json:"label"`
+	Distance float64 `json:"distance"`
+}
+
+// runGuard enforces a run's termination conditions — context
+// cancellation, deadline, row budget — at block-batch granularity: every
+// executor consults stop() between block reads and unwinds cleanly when
+// it fires. A nil guard (the common case: no context, no deadline, no
+// budget) costs one nil check per block.
+type runGuard struct {
+	ctx      context.Context // nil when no context governs the run
+	deadline time.Time       // zero when none
+	budget   int64           // ≤ 0 when unlimited
+	rows     atomic.Int64    // rows consumed, shared across scan workers
+}
+
+// newRunGuard builds the guard for a run, or nil when nothing needs
+// enforcing. A context that can never be canceled (context.Background())
+// contributes nothing.
+func newRunGuard(ctx context.Context, opts Options) *runGuard {
+	hasCtx := ctx != nil && ctx.Done() != nil
+	if !hasCtx && opts.Deadline.IsZero() && opts.RowBudget <= 0 {
+		return nil
+	}
+	g := &runGuard{deadline: opts.Deadline, budget: opts.RowBudget}
+	if hasCtx {
+		g.ctx = ctx
+	}
+	return g
+}
+
+// addRows charges consumed rows against the budget.
+func (g *runGuard) addRows(n int64) {
+	if g != nil && g.budget > 0 {
+		g.rows.Add(n)
+	}
+}
+
+// stop returns nil while the run may continue, or the typed termination
+// error. The error chain wraps core.ErrInterrupted so HistSim folds the
+// partial batch in and salvages a best-effort answer, plus
+// ErrCanceled/ErrBudgetExhausted (and the context error) for callers.
+func (g *runGuard) stop() error {
+	if g == nil {
+		return nil
+	}
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w (%w)", ErrCanceled, err, core.ErrInterrupted)
+		}
+	}
+	if g.budget > 0 && g.rows.Load() >= g.budget {
+		return fmt.Errorf("%w (budget %d, read %d) (%w)", ErrBudgetExhausted, g.budget, g.rows.Load(), core.ErrInterrupted)
+	}
+	if !g.deadline.IsZero() && !time.Now().Before(g.deadline) {
+		return fmt.Errorf("%w: %w (%w)", ErrCanceled, context.DeadlineExceeded, core.ErrInterrupted)
+	}
+	return nil
+}
+
+// interrupted reports whether err is a guard termination carrying a
+// salvageable partial result.
+func interrupted(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExhausted)
+}

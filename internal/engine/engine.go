@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -81,6 +82,27 @@ type Options struct {
 	// for parallel candidate-target resolution; ≤ 0 selects GOMAXPROCS.
 	// It does not affect the sampling executors.
 	Workers int
+	// OnProgress, when non-nil, receives interim run state: sampling
+	// executors emit after stage 1, after every HistSim round, and after
+	// stage 3; the sequential Scan executor emits every few hundred
+	// blocks. Callbacks run synchronously on the run's goroutine(s) —
+	// they must be fast and must not block. A nil OnProgress adds no
+	// work to the run. OnProgress does not affect the result and is
+	// excluded from Options.Fingerprint.
+	OnProgress func(Progress)
+	// Deadline, when non-zero, is an absolute best-effort stop time for
+	// callers not using a context: past it the run unwinds and returns a
+	// partial Result with ErrCanceled (wrapping
+	// context.DeadlineExceeded). Deadline-bearing runs are wall-clock
+	// dependent, so Deadline is excluded from Options.Fingerprint and
+	// their results must not be cached by fingerprint (the serving layer
+	// never caches partial results and applies timeouts via contexts).
+	Deadline time.Time
+	// RowBudget, when > 0, caps the tuples a run may read across all
+	// stages and workers; exhausting it returns a partial Result with
+	// ErrBudgetExhausted. The cap is enforced at block granularity, so
+	// up to one block per worker may be read past it.
+	RowBudget int64
 }
 
 // Result is a complete query answer.
@@ -91,6 +113,12 @@ type Result struct {
 	Pruned []string
 	// Exact reports a full-data answer.
 	Exact bool
+	// Partial reports a best-effort answer from a run cut short by
+	// cancellation, a deadline, or a row budget: TopK is ranked by the
+	// estimates at the stop point and carries no separation or
+	// reconstruction guarantee. Partial results are always accompanied
+	// by an ErrCanceled or ErrBudgetExhausted error.
+	Partial bool
 	// Stats carries HistSim diagnostics (zero-valued for Scan).
 	Stats core.RunStats
 	// IO carries block-level I/O counters.
@@ -173,11 +201,17 @@ func (e *Engine) ResolveTarget(q Query, t Target) (*histogram.Histogram, error) 
 // measurement of query execution only. Repeated runs of the same query
 // shape should Prepare once and call Plan.Run instead.
 func (e *Engine) Run(q Query, t Target, opts Options) (*Result, error) {
+	return e.RunContext(context.Background(), q, t, opts)
+}
+
+// RunContext is Run governed by a context: see Plan.RunContext for the
+// cancellation and progressive-result contract.
+func (e *Engine) RunContext(ctx context.Context, q Query, t Target, opts Options) (*Result, error) {
 	p, err := e.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(t, opts)
+	return p.RunContext(ctx, t, opts)
 }
 
 // RunWithTarget answers the query against a pre-resolved target histogram.
@@ -194,20 +228,52 @@ func (e *Engine) RunWithTarget(q Query, target *histogram.Histogram, opts Option
 // so a malformed request fails with an *InvalidOptionsError before any
 // target resolution or sampling work starts.
 func (p *Plan) Run(t Target, opts Options) (*Result, error) {
+	return p.RunContext(context.Background(), t, opts)
+}
+
+// RunContext is Run governed by a context. Every executor checks the
+// context (and Options.Deadline / Options.RowBudget) at block-batch
+// granularity and unwinds cleanly when it fires: lookahead goroutines
+// are joined, shared caches stay consistent, and the engine returns a
+// best-effort partial Result (Partial set, ranked by the estimates at
+// the stop point) together with a typed error — ErrCanceled for
+// context/deadline stops, ErrBudgetExhausted for the row budget. A stop
+// during target resolution or before any sampling returns a nil Result
+// with the error. Interim state streams through Options.OnProgress.
+//
+// Planning and bitmap-index construction are not canceled mid-build:
+// they are shared across runs under singleflight guards, so a canceled
+// request never invalidates another request's index.
+func (p *Plan) RunContext(ctx context.Context, t Target, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	target, err := p.ResolveTarget(t, opts.Workers)
+	guard := newRunGuard(ctx, opts)
+	if err := guard.stop(); err != nil {
+		return nil, err
+	}
+	target, err := p.resolveTarget(t, opts.Workers, guard)
 	if err != nil {
 		return nil, err
 	}
-	return p.RunWithTarget(target, opts)
+	return p.runWithTarget(target, opts, guard)
 }
 
 // RunWithTarget answers the plan against a pre-resolved target histogram.
 // The Plan is immutable: concurrent RunWithTarget calls on one Plan are
 // safe, each run owning its private sampler state.
 func (p *Plan) RunWithTarget(target *histogram.Histogram, opts Options) (*Result, error) {
+	return p.RunWithTargetContext(context.Background(), target, opts)
+}
+
+// RunWithTargetContext is RunWithTarget governed by a context, with the
+// same cancellation contract as Plan.RunContext.
+func (p *Plan) RunWithTargetContext(ctx context.Context, target *histogram.Histogram, opts Options) (*Result, error) {
+	return p.runWithTarget(target, opts, newRunGuard(ctx, opts))
+}
+
+// runWithTarget executes the plan under an optional run guard.
+func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *runGuard) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,13 +286,19 @@ func (p *Plan) RunWithTarget(target *histogram.Histogram, opts Options) (*Result
 		if opts.Executor == ParallelScan {
 			workers = opts.Workers
 		}
-		res, err := p.runScan(target, opts.Params, workers)
-		if err != nil {
+		var emit func(io IOStats)
+		if opts.OnProgress != nil {
+			emit = func(io IOStats) {
+				opts.OnProgress(Progress{Phase: "scan", IO: io, Elapsed: time.Since(began)})
+			}
+		}
+		res, err := p.runScan(target, opts.Params, workers, guard, emit)
+		if res == nil {
 			return nil, err
 		}
 		res.Duration = time.Since(began)
 		res.GroupLabels = groupLabels(p.grp)
-		return res, nil
+		return res, err
 	}
 	start := opts.StartBlock
 	if start < 0 {
@@ -237,13 +309,34 @@ func (p *Plan) RunWithTarget(target *histogram.Histogram, opts Options) (*Result
 			start = 0
 		}
 	}
-	bs := newBlockSampler(p.engine.src, p.cand, p.grp, p.query.Filter, opts.Executor, opts.Lookahead, start)
-	coreRes, err := core.Run(bs, target, opts.Params)
-	if err != nil {
+	bs := newBlockSampler(p.engine.src, p.cand, p.grp, p.query.Filter, opts.Executor, opts.Lookahead, start, guard)
+	var obs core.Observer
+	if opts.OnProgress != nil {
+		obs = func(s core.Snapshot) {
+			pr := Progress{
+				Phase:            s.Phase,
+				Round:            s.Round,
+				ActiveCandidates: s.ActiveCandidates,
+				SamplesDrawn:     s.Drawn,
+				IO:               bs.Stats(),
+				Elapsed:          time.Since(began),
+			}
+			if len(s.TopK) > 0 {
+				pr.TopK = make([]ProgressMatch, len(s.TopK))
+				for i, rk := range s.TopK {
+					pr.TopK[i] = ProgressMatch{ID: rk.ID, Label: p.cand.labelOf(rk.ID), Distance: rk.Distance}
+				}
+			}
+			opts.OnProgress(pr)
+		}
+	}
+	coreRes, err := core.RunObserved(bs, target, opts.Params, obs)
+	if err != nil && (coreRes == nil || !interrupted(err)) {
 		return nil, err
 	}
 	res := &Result{
 		Exact:       coreRes.Exact,
+		Partial:     coreRes.Partial,
 		Stats:       coreRes.Stats,
 		IO:          bs.Stats(),
 		Duration:    time.Since(began),
@@ -260,7 +353,7 @@ func (p *Plan) RunWithTarget(target *histogram.Histogram, opts Options) (*Result
 	for _, id := range coreRes.Pruned {
 		res.Pruned = append(res.Pruned, p.cand.labelOf(id))
 	}
-	return res, nil
+	return res, err
 }
 
 func groupLabels(grp groupMapper) []string {

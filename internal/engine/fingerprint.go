@@ -96,7 +96,9 @@ func (t Target) Fingerprint() string {
 // option. Two runs of the same Plan and target with equal option
 // fingerprints produce identical Results: the executors are deterministic
 // given Seed (which fixes the start block when StartBlock is negative) and
-// Workers (ParallelScan partitioning).
+// Workers (ParallelScan partitioning). OnProgress (no effect on the
+// result) and Deadline (wall-clock dependent; Deadline-bearing runs must
+// not be cached by fingerprint) are deliberately excluded.
 func (o Options) Fingerprint() string {
 	var w fpWriter
 	p := o.Params
@@ -116,5 +118,6 @@ func (o Options) Fingerprint() string {
 	w.int("start", int64(o.StartBlock))
 	w.int("seed", o.Seed)
 	w.int("workers", int64(o.Workers))
+	w.int("rowbudget", o.RowBudget)
 	return w.sb.String()
 }

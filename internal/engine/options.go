@@ -97,5 +97,8 @@ func (o Options) Validate() error {
 	default:
 		return bad("Executor", "unknown executor %d", int(o.Executor))
 	}
+	if o.RowBudget < 0 {
+		return bad("RowBudget", "row budget must be ≥ 0, got %d", o.RowBudget)
+	}
 	return nil
 }

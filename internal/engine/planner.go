@@ -125,6 +125,13 @@ func (p *Plan) GroupLabels() []string { return groupLabels(p.grp) }
 // (via the bitmap index) to the blocks containing the candidate; workers
 // ≤ 0 selects GOMAXPROCS.
 func (p *Plan) ResolveTarget(t Target, workers int) (*histogram.Histogram, error) {
+	return p.resolveTarget(t, workers, nil)
+}
+
+// resolveTarget is ResolveTarget under an optional run guard: a canceled
+// context aborts the candidate-resolution scan with the typed
+// termination error (a truncated target would be wrong, not partial).
+func (p *Plan) resolveTarget(t Target, workers int, guard *runGuard) (*histogram.Histogram, error) {
 	switch {
 	case len(t.Counts) > 0:
 		if len(t.Counts) != p.grp.groups() {
@@ -155,7 +162,9 @@ func (p *Plan) ResolveTarget(t Target, workers int) (*histogram.Histogram, error
 			// sequentially.
 			workers = 1
 		}
-		return p.newScanExec(workers).candidateHistogram(id), nil
+		ex := p.newScanExec(workers)
+		ex.guard = guard
+		return ex.candidateHistogram(id)
 	default:
 		return nil, fmt.Errorf("engine: empty target specification")
 	}

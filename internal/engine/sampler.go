@@ -83,6 +83,7 @@ type blockSampler struct {
 	filter func(row int) bool
 	mode   Executor
 
+	guard     *runGuard // nil when nothing enforces termination
 	lookahead int
 	consumed  *bitmap.Bitset
 	consCnt   int
@@ -101,7 +102,7 @@ type blockSampler struct {
 }
 
 func newBlockSampler(src colstore.Reader, cand candidateMapper, grp groupMapper,
-	filter func(int) bool, mode Executor, lookahead, startBlock int) *blockSampler {
+	filter func(int) bool, mode Executor, lookahead, startBlock int, guard *runGuard) *blockSampler {
 	if lookahead <= 0 {
 		lookahead = 1024
 	}
@@ -116,6 +117,7 @@ func newBlockSampler(src colstore.Reader, cand candidateMapper, grp groupMapper,
 		grp:       grp,
 		filter:    filter,
 		mode:      mode,
+		guard:     guard,
 		lookahead: lookahead,
 		consumed:  bitmap.NewBitset(nb),
 		cursor:    cursor,
@@ -168,11 +170,15 @@ func (bs *blockSampler) sealBatch(b *core.Batch) *core.Batch {
 }
 
 // Stage1 implements core.Sampler: read whole blocks sequentially until at
-// least m tuples have been drawn.
+// least m tuples have been drawn. A guard stop returns the partial batch
+// with the termination error (wrapping core.ErrInterrupted).
 func (bs *blockSampler) Stage1(m int) (*core.Batch, error) {
 	batch := bs.newBatch()
 	total := bs.src.NumBlocks()
 	for visited := 0; batch.Drawn < int64(m) && !bs.allConsumed() && visited < total; visited++ {
+		if err := bs.guard.stop(); err != nil {
+			return bs.sealBatch(batch), err
+		}
 		b := bs.advance()
 		if bs.consumed.Get(b) {
 			continue
@@ -202,15 +208,21 @@ func (bs *blockSampler) SampleUntil(need map[int]int) (*core.Batch, error) {
 		return bs.sealBatch(batch), nil
 	}
 	bs.publishActive()
+	var stopErr error
 	switch bs.mode {
 	case ScanMatch, Scan:
-		bs.runSequential(batch, false)
+		stopErr = bs.runSequential(batch, false)
 	case SyncMatch:
-		bs.runSequential(batch, true)
+		stopErr = bs.runSequential(batch, true)
 	case FastMatch:
-		bs.runLookahead(batch)
+		stopErr = bs.runLookahead(batch)
 	default:
 		return nil, fmt.Errorf("engine: unknown executor %v", bs.mode)
+	}
+	if stopErr != nil {
+		// Interrupted mid-pass: the exactness inference below needs a
+		// completed pass, so skip it and hand the partial batch up.
+		return bs.sealBatch(batch), stopErr
 	}
 	// Any candidate still in deficit after a full pass has no tuples left
 	// in unconsumed blocks (AnyActive is sound), so its cumulative
@@ -249,9 +261,13 @@ func (bs *blockSampler) advance() int {
 
 // runSequential drives ScanMatch (anyActive=false: read everything) and
 // SyncMatch (anyActive=true: per-block probe with freshest active set).
-func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) {
+// It returns the guard's termination error, or nil for a completed pass.
+func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) error {
 	total := bs.src.NumBlocks()
 	for visited := 0; visited < total && bs.unmet > 0 && !bs.allConsumed(); visited++ {
+		if err := bs.guard.stop(); err != nil {
+			return err
+		}
 		b := bs.advance()
 		if bs.consumed.Get(b) {
 			continue
@@ -267,6 +283,7 @@ func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) {
 		}
 		bs.readBlock(b, batch)
 	}
+	return nil
 }
 
 // window is one lookahead batch of marking decisions handed from the
@@ -282,10 +299,15 @@ type window struct {
 // The marker works from published active-set snapshots; staleness is safe
 // because the deficit set only shrinks within a round, so a stale mark is
 // a superset of what the freshest state would mark.
-func (bs *blockSampler) runLookahead(batch *core.Batch) {
+//
+// It returns the guard's termination error, or nil for a completed pass.
+// Every return path — completion, termination, guard stop — closes done
+// and joins the marker goroutine first, so a canceled run never leaves a
+// marker probing indexes (or pinning a live-table view) behind it.
+func (bs *blockSampler) runLookahead(batch *core.Batch) error {
 	total := bs.src.NumBlocks()
 	if total == 0 {
-		return
+		return nil
 	}
 	windows := make(chan window, 2)
 	done := make(chan struct{})
@@ -328,9 +350,13 @@ func (bs *blockSampler) runLookahead(batch *core.Batch) {
 
 	// I/O manager: read marked blocks.
 	visited := 0
+	var stopErr error
 readLoop:
 	for w := range windows {
 		for i, marked := range w.mark {
+			if stopErr = bs.guard.stop(); stopErr != nil {
+				break readLoop
+			}
 			if visited >= total || bs.unmet == 0 || bs.allConsumed() {
 				break readLoop
 			}
@@ -351,6 +377,7 @@ readLoop:
 	// Keep the shared cursor roughly where reading stopped so later
 	// stages continue from fresh blocks.
 	bs.cursor = (bs.cursor + visited) % total
+	return stopErr
 }
 
 // readBlock consumes block b: every row is drawn, candidate and group
@@ -380,6 +407,7 @@ func (bs *blockSampler) readBlock(b int, batch *core.Batch) {
 		}
 	}
 	atomic.AddInt64(&bs.stats.TuplesRead, int64(hi-lo))
+	bs.guard.addRows(int64(hi - lo))
 	bs.consumed.Set(b)
 	bs.consCnt++
 	atomic.AddInt64(&bs.stats.BlocksRead, 1)

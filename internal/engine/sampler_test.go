@@ -14,7 +14,7 @@ func newTestSampler(t *testing.T, exec Executor, rows int, seed int64) (*blockSa
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newBlockSampler(tbl, cand, grp, nil, exec, 16, 0), e
+	return newBlockSampler(tbl, cand, grp, nil, exec, 16, 0, nil), e
 }
 
 func TestExecutorString(t *testing.T) {
@@ -200,7 +200,7 @@ func TestSyncMatchSkipsForRareActive(t *testing.T) {
 			rare, rareCount = i, c
 		}
 	}
-	bs := newBlockSampler(tbl, cand, grp, nil, SyncMatch, 16, 0)
+	bs := newBlockSampler(tbl, cand, grp, nil, SyncMatch, 16, 0, nil)
 	batch, err := bs.SampleUntil(map[int]int{rare: rareCount})
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +222,7 @@ func TestLookaheadWindowSizes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bs := newBlockSampler(tbl, cand, grp, nil, FastMatch, la, 3)
+		bs := newBlockSampler(tbl, cand, grp, nil, FastMatch, la, 3, nil)
 		batch, err := bs.SampleUntil(map[int]int{0: 50})
 		if err != nil {
 			t.Fatal(err)
@@ -237,7 +237,7 @@ func TestDefaultLookahead(t *testing.T) {
 	tbl := testDataset(t, 1000, 5, 4, 31)
 	e := New(tbl)
 	cand, grp, _ := e.plan(baseQuery())
-	bs := newBlockSampler(tbl, cand, grp, nil, FastMatch, 0, 0)
+	bs := newBlockSampler(tbl, cand, grp, nil, FastMatch, 0, 0, nil)
 	if bs.lookahead != 1024 {
 		t.Fatalf("default lookahead = %d", bs.lookahead)
 	}
@@ -249,7 +249,7 @@ func TestStartBlockNormalization(t *testing.T) {
 	cand, grp, _ := e.plan(baseQuery())
 	nb := tbl.NumBlocks()
 	for _, start := range []int{-1, -nb - 3, nb + 5, 0} {
-		bs := newBlockSampler(tbl, cand, grp, nil, ScanMatch, 16, start)
+		bs := newBlockSampler(tbl, cand, grp, nil, ScanMatch, 16, start, nil)
 		if bs.cursor < 0 || bs.cursor >= nb {
 			t.Fatalf("start %d normalized to out-of-range cursor %d", start, bs.cursor)
 		}

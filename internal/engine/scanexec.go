@@ -26,7 +26,19 @@ type scanExec struct {
 	grp     groupMapper
 	filter  func(row int) bool
 	workers int
+	// guard, when non-nil, is consulted once per block so a canceled or
+	// budget-capped scan unwinds promptly with partial accumulators.
+	guard *runGuard
+	// emit, when non-nil, receives an I/O snapshot every
+	// scanProgressInterval blocks. It is only set for single-worker
+	// scans: parallel workers race, so their interleaving (and thus any
+	// frame sequence) would be nondeterministic.
+	emit func(io IOStats)
 }
+
+// scanProgressInterval is how many blocks a sequential scan reads between
+// progress emissions.
+const scanProgressInterval = 256
 
 // newScanExec binds a scan executor to a plan. Workers ≤ 0 selects
 // GOMAXPROCS; the count is further capped at the number of blocks.
@@ -55,6 +67,7 @@ type scanPartial struct {
 	hists []*histogram.Histogram // lazily allocated per candidate
 	io    IOStats
 	rows  int64
+	err   error // guard termination, if the worker was interrupted
 }
 
 // partition splits [0, NumBlocks) into s.workers contiguous ranges.
@@ -80,11 +93,16 @@ func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int
 	groups := s.grp.groups() // hoisted out of the per-row loop
 	var multiBuf []int
 	for b := loBlock; b < hiBlock; b++ {
+		if err := s.guard.stop(); err != nil {
+			part.err = err
+			return part
+		}
 		if only != nil && !only.Get(b) {
 			continue
 		}
 		lo, hi := s.src.BlockSpan(b)
 		part.io.BlocksRead++
+		s.guard.addRows(int64(hi - lo))
 		for row := lo; row < hi; row++ {
 			part.io.TuplesRead++
 			part.rows++
@@ -115,6 +133,9 @@ func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int
 			}
 			part.add(id, g, groups)
 		}
+		if s.emit != nil && part.io.BlocksRead%scanProgressInterval == 0 {
+			s.emit(part.io)
+		}
 	}
 	return part
 }
@@ -128,7 +149,10 @@ func (p *scanPartial) add(id, g, groups int) {
 
 // run fans the scan out over the partitioned block ranges and merges the
 // per-worker accumulators at the barrier into a complete histogram set.
-func (s *scanExec) run(only *bitmap.Bitset, keep int) ([]*histogram.Histogram, IOStats, int64) {
+// When the run's guard fires, every worker unwinds at its next block
+// boundary and run returns the merged partial accumulators with the
+// termination error — all goroutines are always joined before returning.
+func (s *scanExec) run(only *bitmap.Bitset, keep int) ([]*histogram.Histogram, IOStats, int64, error) {
 	ranges := s.partition()
 	parts := make([]*scanPartial, len(ranges))
 	var wg sync.WaitGroup
@@ -148,9 +172,13 @@ func (s *scanExec) run(only *bitmap.Bitset, keep int) ([]*histogram.Histogram, I
 	}
 	var io IOStats
 	var rows int64
+	var stopErr error
 	for _, part := range parts {
 		io.Add(part.io)
 		rows += part.rows
+		if part.err != nil && stopErr == nil {
+			stopErr = part.err
+		}
 		for i, h := range part.hists {
 			if h == nil {
 				continue
@@ -160,31 +188,52 @@ func (s *scanExec) run(only *bitmap.Bitset, keep int) ([]*histogram.Histogram, I
 			}
 		}
 	}
-	return hists, io, rows
+	return hists, io, rows, stopErr
 }
 
 // candidateHistogram computes the exact histogram of one candidate,
-// restricted (via the bitmap index) to the blocks that contain it.
-func (s *scanExec) candidateHistogram(id int) *histogram.Histogram {
-	hists, _, _ := s.run(s.cand.candidateBlocks(id), id)
-	return hists[id]
+// restricted (via the bitmap index) to the blocks that contain it. An
+// interrupted scan returns the guard's termination error: a truncated
+// target histogram is not best-effort-usable, it is wrong.
+func (s *scanExec) candidateHistogram(id int) (*histogram.Histogram, error) {
+	hists, _, _, err := s.run(s.cand.candidateBlocks(id), id)
+	if err != nil {
+		return nil, err
+	}
+	return hists[id], nil
 }
 
 // runScan answers the plan exactly: one full pass computing every
-// candidate histogram, exact σ pruning, exact top-k.
-func (p *Plan) runScan(target *histogram.Histogram, params core.Params, workers int) (*Result, error) {
+// candidate histogram, exact σ pruning, exact top-k. An interrupted pass
+// (guard fired) instead returns a best-effort Result — Partial set, no σ
+// pruning (selectivities from a truncated pass are biased), candidates
+// ranked by their partial histograms — alongside the termination error.
+func (p *Plan) runScan(target *histogram.Histogram, params core.Params, workers int, guard *runGuard, emit func(io IOStats)) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	hists, io, totalRows := p.newScanExec(workers).run(nil, -1)
-	res := &Result{Exact: true, IO: io}
+	ex := p.newScanExec(workers)
+	ex.guard = guard
+	if ex.workers == 1 {
+		ex.emit = emit
+	}
+	hists, io, totalRows, stopErr := ex.run(nil, -1)
+	res := &Result{Exact: stopErr == nil, Partial: stopErr != nil, IO: io}
 	n := p.cand.numCandidates()
 	dist := make([]float64, n)
 	var keep []int
 	for i := range hists {
-		sel := hists[i].Total() / float64(totalRows)
-		if params.Sigma > 0 && sel < params.Sigma {
-			res.Pruned = append(res.Pruned, p.cand.labelOf(i))
+		if stopErr == nil && params.Sigma > 0 {
+			if sel := hists[i].Total() / float64(totalRows); sel < params.Sigma {
+				res.Pruned = append(res.Pruned, p.cand.labelOf(i))
+				continue
+			}
+		}
+		if stopErr != nil && hists[i].Total() == 0 {
+			// Never-reached candidate: its empty histogram normalizes
+			// to uniform, which would rank it as a perfect match for
+			// uniform-like targets. A truncated pass ranks only what it
+			// saw.
 			continue
 		}
 		dist[i] = params.Metric.Distance(hists[i], target)
@@ -207,5 +256,5 @@ func (p *Plan) runScan(target *histogram.Histogram, params core.Params, workers 
 	}
 	res.Stats.ChosenK = len(res.TopK)
 	res.Stats.PrunedCandidates = len(res.Pruned)
-	return res, nil
+	return res, stopErr
 }

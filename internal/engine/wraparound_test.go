@@ -40,7 +40,7 @@ func TestWrapAroundFromLateStart(t *testing.T) {
 				t.Fatal(err)
 			}
 			start := tbl.NumBlocks() - 3
-			bs := newBlockSampler(tbl, cand, grp, nil, exec, 16, start)
+			bs := newBlockSampler(tbl, cand, grp, nil, exec, 16, start, nil)
 			batch, err := bs.SampleUntil(map[int]int{0: 500})
 			if err != nil {
 				t.Fatal(err)
@@ -65,7 +65,7 @@ func TestLookaheadWindowCrossesWrap(t *testing.T) {
 		t.Fatal(err)
 	}
 	nb := tbl.NumBlocks()
-	bs := newBlockSampler(tbl, cand, grp, nil, FastMatch, nb, nb-2) // window spans the wrap
+	bs := newBlockSampler(tbl, cand, grp, nil, FastMatch, nb, nb-2, nil) // window spans the wrap
 	batch, err := bs.SampleUntil(map[int]int{1: 100})
 	if err != nil {
 		t.Fatal(err)

@@ -203,6 +203,15 @@ type Stats struct {
 	// backed by compacted snapshot files on disk.
 	Segments     int `json:"segments"`
 	SegmentFiles int `json:"segment_files"`
+	// SegmentPins sums the live segments' reference counts — the leak
+	// detector for view lifecycles. The canonical list holds one pin per
+	// segment and the table's cached current view holds one more, so a
+	// quiescent table (no outstanding caller views) reports
+	// SegmentPins == 2×Segments (or == Segments when no view has been
+	// taken since the last generation change). A value that stays higher
+	// after queries finish means a released view was leaked — e.g. a
+	// canceled run that failed to unpin.
+	SegmentPins int64 `json:"segment_pins"`
 	// AppendBatches / AppendedRows count acked appends since open.
 	AppendBatches int64 `json:"append_batches"`
 	AppendedRows  int64 `json:"appended_rows"`

@@ -529,6 +529,7 @@ func (t *WritableTable) Stats() Stats {
 		if seg.file != "" {
 			s.SegmentFiles++
 		}
+		s.SegmentPins += seg.pins.Load()
 	}
 	if t.wal != nil {
 		s.WALBytes = t.wal.totalBytes()

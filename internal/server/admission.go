@@ -17,6 +17,7 @@ type admission struct {
 	sem      chan struct{}
 	maxWait  time.Duration
 	rejected atomic.Int64
+	canceled atomic.Int64
 	inflight atomic.Int64
 }
 
@@ -24,30 +25,54 @@ func newAdmission(limit int, maxWait time.Duration) *admission {
 	return &admission{sem: make(chan struct{}, limit), maxWait: maxWait}
 }
 
-// acquire claims a run slot, waiting up to maxWait; it returns false (and
-// counts a rejection) on timeout or client disconnect.
-func (a *admission) acquire(ctx context.Context) bool {
+// admitResult says how an admission attempt ended.
+type admitResult int
+
+const (
+	// admitOK claimed a slot; the caller must release it.
+	admitOK admitResult = iota
+	// admitTimeout waited maxWait without a slot freeing up (503: the
+	// server is at capacity, a load balancer should retry elsewhere).
+	admitTimeout
+	// admitCanceled saw the request context end while queued — the
+	// client stopped waiting, so the request abandons the queue instead
+	// of claiming (and then wasting) a slot. Mapped to a 499-style
+	// "client closed request" and counted separately from capacity
+	// rejections.
+	admitCanceled
+)
+
+// acquire claims a run slot, waiting up to maxWait. The wait selects on
+// the request context, so a disconnected or timed-out client leaves the
+// queue immediately and never holds a slot claim.
+func (a *admission) acquire(ctx context.Context) admitResult {
 	select {
 	case a.sem <- struct{}{}:
 		a.inflight.Add(1)
-		return true
+		return admitOK
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		a.canceled.Add(1)
+		return admitCanceled
 	}
 	if a.maxWait <= 0 {
 		a.rejected.Add(1)
-		return false
+		return admitTimeout
 	}
 	timer := time.NewTimer(a.maxWait)
 	defer timer.Stop()
 	select {
 	case a.sem <- struct{}{}:
 		a.inflight.Add(1)
-		return true
+		return admitOK
 	case <-timer.C:
+		a.rejected.Add(1)
+		return admitTimeout
 	case <-ctx.Done():
+		a.canceled.Add(1)
+		return admitCanceled
 	}
-	a.rejected.Add(1)
-	return false
 }
 
 // release frees a run slot.
@@ -63,9 +88,17 @@ type AdmissionStats struct {
 	InFlight int64 `json:"in_flight"`
 	// Rejected counts requests turned away with 503 since startup.
 	Rejected int64 `json:"rejected"`
+	// Canceled counts queued requests abandoned because their client
+	// disconnected (or their deadline passed) while waiting for a slot.
+	Canceled int64 `json:"canceled"`
 }
 
 // stats returns a snapshot of the admission counters.
 func (a *admission) stats() AdmissionStats {
-	return AdmissionStats{Limit: cap(a.sem), InFlight: a.inflight.Load(), Rejected: a.rejected.Load()}
+	return AdmissionStats{
+		Limit:    cap(a.sem),
+		InFlight: a.inflight.Load(),
+		Rejected: a.rejected.Load(),
+		Canceled: a.canceled.Load(),
+	}
 }

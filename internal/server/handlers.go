@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,12 @@ import (
 
 	"fastmatch/internal/engine"
 )
+
+// statusClientClosedRequest is nginx's nonstandard 499 "client closed
+// request": the client disconnected (or stopped waiting) before the
+// server could answer. The response body never reaches anyone; the
+// status exists for access logs and metrics.
+const statusClientClosedRequest = 499
 
 // maxRequestBody bounds query/admin bodies; matching requests are small.
 const maxRequestBody = 1 << 20
@@ -19,6 +26,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/tables/{name}/rows", s.handleAppend)
 	if s.cfg.EnableAdmin {
 		s.mux.HandleFunc("POST /v1/admin/load", s.handleAdminLoad)
@@ -111,25 +119,47 @@ type wireResponse struct {
 	Result json.RawMessage `json:"result"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	began := time.Now()
-	var req QueryRequest
+// preparedQuery is the decoded, validated, cache-keyed request state the
+// blocking and streaming query endpoints share. The table entry and (for
+// live tables) its data view stay pinned until release runs — including
+// across a canceled run, so a mid-flight scan can never lose its storage.
+type preparedQuery struct {
+	req       QueryRequest
+	entry     *tableEntry
+	eng       *engine.Engine
+	q         engine.Query
+	opts      engine.Options
+	target    engine.Target
+	planKey   string
+	resultKey string
+	began     time.Time
+	release   func()
+}
+
+// fail records a failed request and writes the error response.
+func (pq *preparedQuery) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeFailed, false, false)
+	writeError(w, status, format, args...)
+}
+
+// prepareQuery decodes and validates a query request, pins the table
+// entry and its current view, and derives the plan/result cache keys. On
+// failure it writes the error response (and accounts it) and returns
+// nil; on success the caller must call release when done.
+func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQuery {
+	pq := &preparedQuery{began: time.Now()}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(&pq.req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding query request: %v", err)
-		return
+		return nil
 	}
-	entry, ok := s.reg.acquire(req.Table)
+	entry, ok := s.reg.acquire(pq.req.Table)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no table %q (see /v1/tables)", req.Table)
-		return
+		writeError(w, http.StatusNotFound, "no table %q (see /v1/tables)", pq.req.Table)
+		return nil
 	}
-	defer entry.release()
-	fail := func(status int, format string, args ...any) {
-		entry.metrics.observe(time.Since(began), nil, true, false, false)
-		writeError(w, status, format, args...)
-	}
+	pq.entry = entry
 
 	// For live (ingest-backed) tables this binds the request to the
 	// table's current generation: the view stays pinned for the whole
@@ -137,54 +167,120 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// generation) so answers computed over older data are never reused.
 	eng, gen, releaseView, err := entry.engineNow()
 	if err != nil {
-		fail(http.StatusServiceUnavailable, "table %q unavailable: %v", req.Table, err)
-		return
+		pq.fail(w, http.StatusServiceUnavailable, "table %q unavailable: %v", pq.req.Table, err)
+		entry.release()
+		return nil
 	}
-	defer releaseView()
+	pq.eng = eng
+	pq.release = func() {
+		releaseView()
+		entry.release()
+	}
+	bail := func(status int, format string, args ...any) *preparedQuery {
+		pq.fail(w, status, format, args...)
+		pq.release()
+		return nil
+	}
 
-	q, err := req.Query.toQuery()
-	if err != nil {
-		fail(http.StatusUnprocessableEntity, "invalid query: %v", err)
-		return
+	if pq.q, err = pq.req.Query.toQuery(); err != nil {
+		return bail(http.StatusUnprocessableEntity, "invalid query: %v", err)
 	}
-	opts := engine.DefaultOptions(eng.Source().NumRows())
-	if err := req.Options.apply(&opts); err != nil {
-		fail(http.StatusUnprocessableEntity, "invalid options: %v", err)
-		return
+	pq.opts = engine.DefaultOptions(eng.Source().NumRows())
+	if err := pq.req.Options.apply(&pq.opts); err != nil {
+		return bail(http.StatusUnprocessableEntity, "invalid options: %v", err)
 	}
-	if err := opts.Validate(); err != nil {
-		fail(http.StatusUnprocessableEntity, "%v", err)
-		return
+	if err := pq.opts.Validate(); err != nil {
+		return bail(http.StatusUnprocessableEntity, "%v", err)
 	}
-	target := req.Target.toTarget()
+	pq.target = pq.req.Target.toTarget()
 
 	// Wire queries never carry closures, so the fingerprint always exists.
-	qfp, err := q.Fingerprint()
+	qfp, err := pq.q.Fingerprint()
 	if err != nil {
-		fail(http.StatusUnprocessableEntity, "invalid query: %v", err)
+		return bail(http.StatusUnprocessableEntity, "invalid query: %v", err)
+	}
+	pq.planKey = fmt.Sprintf("%s\x00%d\x00%d\x00%s", pq.req.Table, entry.incarnation, gen, qfp)
+	pq.resultKey = pq.planKey + "\x00" + pq.target.Fingerprint() + "\x00" + pq.opts.Fingerprint()
+	return pq
+}
+
+// runContext derives the request's run context from the client
+// connection and the table's query timeout. timedOut distinguishes the
+// server-imposed deadline from a client disconnect after the fact.
+func (s *Server) runContext(r *http.Request, pq *preparedQuery) (ctx context.Context, cancel context.CancelFunc, timedOut func() bool) {
+	ctx = r.Context()
+	if to := s.timeoutFor(pq.entry); to > 0 {
+		ctx, cancel = context.WithTimeout(ctx, to)
+	} else {
+		cancel = func() {}
+	}
+	return ctx, cancel, func() bool { return errors.Is(ctx.Err(), context.DeadlineExceeded) }
+}
+
+// admit claims an admission slot for pq under ctx, writing the rejection
+// response when it fails. The caller must release on true.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, pq *preparedQuery) bool {
+	switch s.adm.acquire(ctx) {
+	case admitOK:
+		return true
+	case admitCanceled:
+		// The request context ended while queued; no slot was ever
+		// claimed. Distinguish the server-imposed query timeout (the
+		// client is still connected and deserves timeout semantics)
+		// from a client that hung up.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeTimedOut, false, false)
+			writeError(w, http.StatusGatewayTimeout, "query timed out while queued for admission")
+		} else {
+			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeCanceled, false, false)
+			writeError(w, statusClientClosedRequest, "client closed request while queued for admission")
+		}
+	default: // admitTimeout
+		w.Header().Set("Retry-After", "1")
+		pq.fail(w, http.StatusServiceUnavailable, "server at capacity (%d runs in flight)", s.cfg.MaxConcurrent)
+	}
+	return false
+}
+
+// planFor returns the (possibly cached) plan for pq.
+func (s *Server) planFor(pq *preparedQuery) (*engine.Plan, bool, error) {
+	plan, planHit := s.plans.Get(pq.planKey)
+	if !planHit {
+		var err error
+		if plan, err = pq.eng.Prepare(pq.q); err != nil {
+			return nil, false, err
+		}
+		s.plans.Put(pq.planKey, plan)
+	}
+	return plan, planHit, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	pq := s.prepareQuery(w, r)
+	if pq == nil {
 		return
 	}
-	planKey := fmt.Sprintf("%s\x00%d\x00%d\x00%s", req.Table, entry.incarnation, gen, qfp)
-	resultKey := planKey + "\x00" + target.Fingerprint() + "\x00" + opts.Fingerprint()
+	defer pq.release()
 
 	// Result cache: seeded runs are deterministic (the async FastMatch
 	// executor aside, where a cached answer is still one valid (ε, δ)
 	// answer), so a fingerprint hit can skip the engine entirely.
-	if payload, ok := s.results.Get(resultKey); ok {
-		entry.metrics.observe(time.Since(began), nil, false, false, true)
+	if payload, ok := s.results.Get(pq.resultKey); ok {
+		pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeOK, false, true)
 		writeJSON(w, http.StatusOK, wireResponse{
-			Table:      req.Table,
+			Table:      pq.req.Table,
 			Cached:     true,
-			DurationNS: int64(time.Since(began)),
+			DurationNS: int64(time.Since(pq.began)),
 			Result:     json.RawMessage(payload),
 		})
 		return
 	}
 
+	ctx, cancel, timedOut := s.runContext(r, pq)
+	defer cancel()
+
 	// Admission: bound concurrent engine runs.
-	if !s.adm.acquire(r.Context()) {
-		w.Header().Set("Retry-After", "1")
-		fail(http.StatusServiceUnavailable, "server at capacity (%d runs in flight)", s.cfg.MaxConcurrent)
+	if !s.admit(ctx, w, pq) {
 		return
 	}
 	defer s.adm.release()
@@ -193,41 +289,64 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Plan cache: equal query fingerprints share a resolved Plan.
-	plan, planHit := s.plans.Get(planKey)
-	if !planHit {
-		plan, err = eng.Prepare(q)
-		if err != nil {
-			fail(http.StatusUnprocessableEntity, "planning query: %v", err)
-			return
-		}
-		s.plans.Put(planKey, plan)
+	plan, planHit, err := s.planFor(pq)
+	if err != nil {
+		pq.fail(w, http.StatusUnprocessableEntity, "planning query: %v", err)
+		return
 	}
 
-	res, err := plan.Run(target, opts)
-	if err != nil {
+	res, err := plan.RunContext(ctx, pq.target, pq.opts)
+	if err != nil && !(res != nil && res.Partial) {
 		var ioe *engine.InvalidOptionsError
 		switch {
 		case errors.As(err, &ioe):
-			fail(http.StatusUnprocessableEntity, "%v", err)
+			pq.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		case errors.Is(err, context.Canceled):
+			// Client gone before any salvageable work: the status is for
+			// the access log, nobody reads the body.
+			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeCanceled, false, false)
+			writeError(w, statusClientClosedRequest, "client closed request")
+		case errors.Is(err, context.DeadlineExceeded):
+			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeTimedOut, false, false)
+			writeError(w, http.StatusGatewayTimeout, "query timed out before any result was available")
 		default:
 			// Target resolution and run errors are request-shaped too
 			// (unknown candidate, group-count mismatch, …).
-			fail(http.StatusUnprocessableEntity, "running query: %v", err)
+			pq.fail(w, http.StatusUnprocessableEntity, "running query: %v", err)
 		}
 		return
 	}
 
-	payload, err := json.Marshal(toPayload(res))
-	if err != nil {
-		fail(http.StatusInternalServerError, "encoding result: %v", err)
+	if err != nil && errors.Is(err, context.Canceled) && !timedOut() {
+		// A partial result exists but its client is gone; record the
+		// cancellation (the write below will fail on the dead
+		// connection, which is fine).
+		pq.entry.metrics.observe(time.Since(pq.began), res, outcomeCanceled, planHit, false)
+		writeError(w, statusClientClosedRequest, "client closed request")
 		return
 	}
-	s.results.Put(resultKey, payload)
-	entry.metrics.observe(time.Since(began), res, false, planHit, false)
+
+	payload, merr := json.Marshal(toPayload(res))
+	if merr != nil {
+		pq.fail(w, http.StatusInternalServerError, "encoding result: %v", merr)
+		return
+	}
+	oc := outcomeOK
+	if res.Partial {
+		// Progressive contract: a timed-out or budget-capped run still
+		// answers with its best effort, flagged Partial — and is never
+		// cached (it is not the query's answer, just a prefix of it).
+		if timedOut() {
+			oc = outcomeTimedOut
+		}
+	} else {
+		s.results.Put(pq.resultKey, payload)
+	}
+	pq.entry.metrics.observe(time.Since(pq.began), res, oc, planHit, false)
 	writeJSON(w, http.StatusOK, wireResponse{
-		Table:      req.Table,
+		Table:      pq.req.Table,
 		Cached:     false,
-		DurationNS: int64(time.Since(began)),
+		DurationNS: int64(time.Since(pq.began)),
 		Result:     json.RawMessage(payload),
 	})
 }

@@ -28,6 +28,18 @@ func ingestSpec(t testing.TB, name string) TableSpec {
 	}
 }
 
+// loadIngest loads an ingest spec and unloads it at cleanup, so the
+// background compactor is stopped before TempDir removal (skipping the
+// unload leaves the two racing). Tests that unload explicitly are fine:
+// the second unload is a harmless not-found.
+func loadIngest(t testing.TB, s *Server, name string) {
+	t.Helper()
+	if err := s.LoadTable(ingestSpec(t, name)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.UnloadTable(name) })
+}
+
 // appendRows POSTs a JSON batch to the append endpoint.
 func appendRows(t testing.TB, url, table string, rows []ingest.Row) (int, AppendResponse) {
 	t.Helper()
@@ -88,9 +100,7 @@ func tuplesRead(t testing.TB, rep wireReply) int64 {
 
 func TestIngestTableEndToEnd(t *testing.T) {
 	s := New(Config{EnableAdmin: true})
-	if err := s.LoadTable(ingestSpec(t, "live")); err != nil {
-		t.Fatal(err)
-	}
+	loadIngest(t, s, "live")
 	ts := newHTTPServer(t, s)
 
 	// Append a first batch and query it.
@@ -151,9 +161,7 @@ func TestIngestTableEndToEnd(t *testing.T) {
 
 func TestIngestCSVAppend(t *testing.T) {
 	s := New(Config{})
-	if err := s.LoadTable(ingestSpec(t, "live")); err != nil {
-		t.Fatal(err)
-	}
+	loadIngest(t, s, "live")
 	ts := newHTTPServer(t, s)
 
 	csvBody := "X,m,Z\nX_1,2.5,Z_1\nX_2,0,Z_2\nX_1,7,Z_1\n" // header order ≠ schema order
@@ -183,9 +191,7 @@ func TestIngestCSVAppend(t *testing.T) {
 
 func TestAppendErrorStatuses(t *testing.T) {
 	s := New(Config{})
-	if err := s.LoadTable(ingestSpec(t, "live")); err != nil {
-		t.Fatal(err)
-	}
+	loadIngest(t, s, "live")
 	tbl := fixtureTable(t)
 	if err := s.RegisterTable("static", tbl); err != nil {
 		t.Fatal(err)
@@ -264,9 +270,7 @@ func TestUnloadBusyReturns409(t *testing.T) {
 // keying).
 func TestUnloadReloadInvalidatesCaches(t *testing.T) {
 	s := New(Config{EnableAdmin: true})
-	if err := s.LoadTable(ingestSpec(t, "live")); err != nil {
-		t.Fatal(err)
-	}
+	loadIngest(t, s, "live")
 	ts := newHTTPServer(t, s)
 	appendRows(t, ts.URL, "live", genIngestRows(400, 0))
 	if _, rep := postQuery(t, ts.URL, scanQuery("live")); tuplesRead(t, rep) != 400 {
@@ -276,9 +280,7 @@ func TestUnloadReloadInvalidatesCaches(t *testing.T) {
 		t.Fatalf("unload failed")
 	}
 	// Same name, different (fresh) directory and data volume.
-	if err := s.LoadTable(ingestSpec(t, "live")); err != nil {
-		t.Fatal(err)
-	}
+	loadIngest(t, s, "live")
 	appendRows(t, ts.URL, "live", genIngestRows(150, 1))
 	code, rep := postQuery(t, ts.URL, scanQuery("live"))
 	if code != http.StatusOK || rep.Cached {
@@ -293,9 +295,7 @@ func TestUnloadReloadInvalidatesCaches(t *testing.T) {
 // endpoints together (run with -race).
 func TestConcurrentAppendAndQueryHTTP(t *testing.T) {
 	s := New(Config{})
-	if err := s.LoadTable(ingestSpec(t, "live")); err != nil {
-		t.Fatal(err)
-	}
+	loadIngest(t, s, "live")
 	ts := newHTTPServer(t, s)
 	appendRows(t, ts.URL, "live", genIngestRows(600, 0))
 

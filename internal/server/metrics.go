@@ -22,6 +22,9 @@ type tableMetrics struct {
 	mu         sync.Mutex
 	requests   int64
 	errors     int64
+	canceled   int64
+	timedOut   int64
+	partials   int64
 	planHits   int64
 	planMiss   int64
 	resHits    int64
@@ -35,6 +38,24 @@ type tableMetrics struct {
 	latCount   int // total observations (ring index = latCount % window)
 }
 
+// runOutcome classifies how a query request ended, for the per-table
+// counters an operator reads off /v1/stats.
+type runOutcome int
+
+const (
+	// outcomeOK answered the query (possibly from cache, possibly with a
+	// best-effort partial result — see the partial flag).
+	outcomeOK runOutcome = iota
+	// outcomeFailed is a processing error (bad request, planning or run
+	// failure): a 4xx/5xx response.
+	outcomeFailed
+	// outcomeCanceled is a client that went away — while queued for
+	// admission or mid-run — before an answer could be delivered.
+	outcomeCanceled
+	// outcomeTimedOut hit the per-table/request query timeout.
+	outcomeTimedOut
+)
+
 // observeAppend records one append request against the table.
 func (m *tableMetrics) observeAppend(rows int, failed bool) {
 	m.mu.Lock()
@@ -47,24 +68,36 @@ func (m *tableMetrics) observeAppend(rows int, failed bool) {
 }
 
 // observe records one completed query request. res is nil for cache hits
-// and for failed requests.
-func (m *tableMetrics) observe(d time.Duration, res *engine.Result, failed, planHit, resultHit bool) {
+// and for requests that never ran; a non-nil res contributes its I/O and
+// sample counters even when the run was cut short (a canceled run's
+// partial work is still work the table did).
+func (m *tableMetrics) observe(d time.Duration, res *engine.Result, oc runOutcome, planHit, resultHit bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests++
-	if failed {
+	switch oc {
+	case outcomeFailed:
 		m.errors++
-	} else if resultHit {
-		m.resHits++
-	} else {
-		m.resMiss++
-		if planHit {
-			m.planHits++
+	case outcomeCanceled:
+		m.canceled++
+	case outcomeTimedOut:
+		m.timedOut++
+	case outcomeOK:
+		if resultHit {
+			m.resHits++
 		} else {
-			m.planMiss++
+			m.resMiss++
+			if planHit {
+				m.planHits++
+			} else {
+				m.planMiss++
+			}
 		}
 	}
 	if res != nil {
+		if res.Partial {
+			m.partials++
+		}
 		m.io.Add(res.IO)
 		m.samples += res.Stats.TotalSamples()
 	}
@@ -75,10 +108,17 @@ func (m *tableMetrics) observe(d time.Duration, res *engine.Result, failed, plan
 // TableMetrics is the JSON form of one table's serving statistics,
 // surfaced by /v1/stats.
 type TableMetrics struct {
-	// Requests counts /v1/query requests for the table; Errors the subset
-	// that failed.
+	// Requests counts /v1/query and /v1/query/stream requests for the
+	// table; Errors the subset that failed with a 4xx/5xx.
 	Requests int64 `json:"requests"`
 	Errors   int64 `json:"errors"`
+	// Canceled counts requests whose client went away before an answer
+	// (queued or mid-run); TimedOut those stopped by the query timeout;
+	// PartialResults the responses served with a best-effort partial
+	// answer (timeouts and row budgets).
+	Canceled       int64 `json:"canceled,omitempty"`
+	TimedOut       int64 `json:"timed_out,omitempty"`
+	PartialResults int64 `json:"partial_results,omitempty"`
 	// ResultCacheHits/Misses count whole-result reuse; plan counters only
 	// cover result-cache misses (hits never consult the plan cache).
 	ResultCacheHits   int64 `json:"result_cache_hits"`
@@ -126,6 +166,9 @@ func (m *tableMetrics) snapshot() TableMetrics {
 	out := TableMetrics{
 		Requests:          m.requests,
 		Errors:            m.errors,
+		Canceled:          m.canceled,
+		TimedOut:          m.timedOut,
+		PartialResults:    m.partials,
 		ResultCacheHits:   m.resHits,
 		ResultCacheMisses: m.resMiss,
 		PlanCacheHits:     m.planHits,

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fastmatch/internal/colstore"
+)
+
+// postStream POSTs to /v1/query/stream and returns the decoded frames.
+func postStream(t testing.TB, url string, req QueryRequest) (int, []StreamFrame) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var frames []StreamFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f StreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, frames
+}
+
+func TestStreamEndpointFramesThenByteIdenticalResult(t *testing.T) {
+	_, tbl, ts := newTestServer(t, Config{})
+	req := baseRequest(21, "scanmatch")
+
+	status, frames := postStream(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("stream status %d", status)
+	}
+	if len(frames) < 2 {
+		t.Fatalf("want ≥1 progress + 1 result frame, got %d frames", len(frames))
+	}
+	for i, f := range frames[:len(frames)-1] {
+		if f.Type != "progress" {
+			t.Fatalf("frame %d has type %q, want progress", i, f.Type)
+		}
+		if f.Progress == nil {
+			t.Fatalf("progress frame %d carries no payload", i)
+		}
+	}
+	if frames[0].Progress.Phase != "start" {
+		t.Fatalf("first frame phase %q, want start", frames[0].Progress.Phase)
+	}
+	sawRound := false
+	for _, f := range frames[:len(frames)-1] {
+		if f.Progress.Phase == "stage1" || f.Progress.Phase == "stage2" {
+			sawRound = true
+			if f.Progress.IO.TuplesRead == 0 {
+				t.Fatal("round frame reports zero I/O")
+			}
+		}
+	}
+	if !sawRound {
+		t.Fatal("no HistSim round frames before the result")
+	}
+	final := frames[len(frames)-1]
+	if final.Type != "result" || final.Cached {
+		t.Fatalf("terminal frame: %+v, want uncached result", final)
+	}
+
+	// Byte-identity three ways: vs a fresh direct engine run, and vs the
+	// blocking endpoint (which must now hit the result cache the stream
+	// populated).
+	direct := directPayload(t, tbl, req)
+	if !bytes.Equal(final.Result, direct) {
+		t.Fatalf("stream result differs from direct engine run:\n%s\nvs\n%s", final.Result, direct)
+	}
+	status, reply := postQuery(t, ts.URL, req)
+	if status != http.StatusOK || !reply.Cached {
+		t.Fatalf("blocking repeat: status %d cached %v, want cached hit of the streamed payload", status, reply.Cached)
+	}
+	if !bytes.Equal([]byte(reply.Result), final.Result) {
+		t.Fatal("blocking endpoint payload differs from streamed result")
+	}
+}
+
+func TestStreamCachedAnswerKeepsFrameShape(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	req := baseRequest(4, "scanmatch")
+	if status, _ := postQuery(t, ts.URL, req); status != http.StatusOK {
+		t.Fatal("priming query failed")
+	}
+	status, frames := postStream(t, ts.URL, req)
+	if status != http.StatusOK || len(frames) != 2 {
+		t.Fatalf("cached stream: status %d, %d frames, want start+result", status, len(frames))
+	}
+	if frames[0].Type != "progress" || frames[1].Type != "result" || !frames[1].Cached {
+		t.Fatalf("cached stream frames: %+v", frames)
+	}
+}
+
+// slowServer registers a throttled copy of the fixture table: ~320
+// blocks at ≥1ms per block ≈ ≥300ms per full scan, so tests can
+// reliably interrupt mid-run.
+func slowServer(t testing.TB, cfg Config, timeout time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	tbl := fixtureTable(t)
+	s := New(cfg)
+	if err := s.reg.register("slow", "(throttled)", colstore.NewThrottledReader(tbl, time.Millisecond), timeout); err != nil {
+		t.Fatal(err)
+	}
+	return s, newHTTPServer(t, s)
+}
+
+func slowRequest(seed int64) QueryRequest {
+	req := baseRequest(seed, "scan")
+	req.Table = "slow"
+	return req
+}
+
+func TestStreamClientDisconnectCancelsScan(t *testing.T) {
+	_, ts := slowServer(t, Config{}, 0)
+	body, err := json.Marshal(slowRequest(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query/stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first frame (the run is now in flight), then vanish.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The canceled counter must tick, and the aborted scan's I/O must
+	// stop growing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := getStats(t, ts.URL).Tables["slow"]
+		if st.Canceled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never ticked: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	io1 := getStats(t, ts.URL).Tables["slow"].IO.TuplesRead
+	time.Sleep(150 * time.Millisecond)
+	io2 := getStats(t, ts.URL).Tables["slow"].IO.TuplesRead
+	if io1 != io2 {
+		t.Fatalf("IOStats still growing after cancellation: %d -> %d", io1, io2)
+	}
+	if full := int64(20_000); io1 >= full {
+		t.Fatalf("scan ran to completion (%d tuples) despite disconnect", io1)
+	}
+}
+
+func TestBlockingClientDisconnectCancelsScan(t *testing.T) {
+	_, ts := slowServer(t, Config{}, 0)
+	body, err := json.Marshal(slowRequest(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(httpReq); err == nil {
+		resp.Body.Close()
+		t.Fatal("request should have been abandoned by its context")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := getStats(t, ts.URL).Tables["slow"]
+		if st.Canceled >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never ticked: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestPerTableTimeoutServesPartial(t *testing.T) {
+	_, ts := slowServer(t, Config{}, 80*time.Millisecond)
+	// Cold-start caveat: planning (the bitmap-index build, a full block
+	// sweep that pays the simulated latency too) is shared and not
+	// cancellable, so the very first query's budget can die inside it
+	// and 504 with nothing — while still priming the plan cache for
+	// everyone after. Prime, then assert the steady-state contract.
+	if status, _ := postQuery(t, ts.URL, slowRequest(33)); status != http.StatusOK && status != http.StatusGatewayTimeout {
+		t.Fatalf("priming query status %d", status)
+	}
+	status, reply := postQuery(t, ts.URL, slowRequest(33))
+	if status != http.StatusOK {
+		t.Fatalf("timed-out query status %d, want 200 + partial result", status)
+	}
+	var payload ResultPayload
+	if err := json.Unmarshal(reply.Result, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if !payload.Partial || payload.Exact {
+		t.Fatalf("payload partial=%v exact=%v, want best-effort partial", payload.Partial, payload.Exact)
+	}
+	if payload.IO.TuplesRead == 0 || payload.IO.TuplesRead >= 20_000 {
+		t.Fatalf("partial scan read %d tuples, want mid-run stop", payload.IO.TuplesRead)
+	}
+	st := getStats(t, ts.URL).Tables["slow"]
+	if st.TimedOut < 1 || st.PartialResults < 1 {
+		t.Fatalf("timeout counters: %+v", st)
+	}
+	// Partial results must not be cached.
+	if _, reply = postQuery(t, ts.URL, slowRequest(33)); reply.Cached {
+		t.Fatal("partial result was served from the result cache")
+	}
+}
+
+func TestRowBudgetOverWire(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	req := baseRequest(34, "scan")
+	budget := int64(2_000)
+	req.Options.RowBudget = &budget
+	status, reply := postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("budgeted query status %d", status)
+	}
+	var payload ResultPayload
+	if err := json.Unmarshal(reply.Result, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if !payload.Partial {
+		t.Fatal("budgeted run not flagged partial")
+	}
+	if payload.IO.TuplesRead < budget || payload.IO.TuplesRead > budget+1_000 {
+		t.Fatalf("budget enforcement: read %d tuples for budget %d", payload.IO.TuplesRead, budget)
+	}
+	if _, reply = postQuery(t, ts.URL, req); reply.Cached {
+		t.Fatal("partial (budgeted) result was cached")
+	}
+}
+
+func TestAdmissionQueueAbandonedOnDisconnect(t *testing.T) {
+	s, _, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxWait: 10 * time.Second})
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookRunning = func() {
+		once.Do(func() {
+			close(parked)
+			<-release
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postQuery(t, ts.URL, baseRequest(41, "scanmatch"))
+	}()
+	<-parked // first request holds the only slot
+
+	// Second request queues for admission, then its client gives up.
+	body, err := json.Marshal(baseRequest(42, "scanmatch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(httpReq); err == nil {
+		// The server may get the 499 out before the transport aborts.
+		if resp.StatusCode != statusClientClosedRequest {
+			t.Fatalf("abandoned request answered %d, want %d", resp.StatusCode, statusClientClosedRequest)
+		}
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := getStats(t, ts.URL)
+		if st.Admission.Canceled >= 1 && st.Tables["fixture"].Canceled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandonment not accounted: admission %+v, table %+v", st.Admission, st.Tables["fixture"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st := getStats(t, ts.URL); st.Admission.Rejected != 0 {
+		t.Fatalf("client disconnect was misfiled as a capacity rejection: %+v", st.Admission)
+	}
+	close(release)
+	<-done
+	// The parked request's slot was never stolen by the abandoned one.
+	if st := getStats(t, ts.URL); st.Admission.InFlight != 0 {
+		t.Fatalf("slot leaked: %+v", st.Admission)
+	}
+}

@@ -57,6 +57,16 @@ type TableSpec struct {
 	// silently break the sampling executors' statistical guarantees, so
 	// opting out (pointer to a negative value) is explicit.
 	ShuffleSeed *int64 `json:"shuffle_seed,omitempty"`
+	// QueryTimeoutMS is this table's per-request query timeout in
+	// milliseconds: a run past it stops and the response carries the
+	// best-effort partial answer. 0 inherits Config.QueryTimeout;
+	// negative disables the timeout even when a server default is set.
+	QueryTimeoutMS int64 `json:"query_timeout_ms,omitempty"`
+	// BlockDelayUS adds an artificial per-block read latency in
+	// microseconds (colstore.NewThrottledReader): a storage-latency
+	// simulator for exercising progressive delivery, timeouts, and
+	// cancellation against small datasets. Static backends only.
+	BlockDelayUS int64 `json:"block_delay_us,omitempty"`
 }
 
 // TableInfo describes one registered table, as listed by /v1/tables.
@@ -104,6 +114,9 @@ type tableEntry struct {
 	// incarnation distinguishes same-named tables across unload/load
 	// cycles in the plan and result cache keys.
 	incarnation uint64
+	// queryTimeout is the table's per-request timeout: 0 inherits the
+	// server default, negative disables it.
+	queryTimeout time.Duration
 	// inflight counts requests currently using the entry; unload refuses
 	// (409) while it is nonzero.
 	inflight atomic.Int64
@@ -204,24 +217,26 @@ func (r *registry) add(e *tableEntry) error {
 }
 
 // register installs a static storage source under a name.
-func (r *registry) register(name, source string, src colstore.Reader) error {
+func (r *registry) register(name, source string, src colstore.Reader, queryTimeout time.Duration) error {
 	return r.add(&tableEntry{
-		name:     name,
-		source:   source,
-		eng:      engine.New(src),
-		metrics:  &tableMetrics{},
-		loadedAt: time.Now(),
+		name:         name,
+		source:       source,
+		eng:          engine.New(src),
+		metrics:      &tableMetrics{},
+		loadedAt:     time.Now(),
+		queryTimeout: queryTimeout,
 	})
 }
 
 // registerLive installs an open writable table under a name.
-func (r *registry) registerLive(name, source string, wt *ingest.WritableTable) error {
+func (r *registry) registerLive(name, source string, wt *ingest.WritableTable, queryTimeout time.Duration) error {
 	return r.add(&tableEntry{
-		name:     name,
-		source:   source,
-		live:     wt,
-		metrics:  &tableMetrics{},
-		loadedAt: time.Now(),
+		name:         name,
+		source:       source,
+		live:         wt,
+		metrics:      &tableMetrics{},
+		loadedAt:     time.Now(),
+		queryTimeout: queryTimeout,
 	})
 }
 
@@ -238,7 +253,11 @@ func (r *registry) load(spec TableSpec) error {
 	if backend == "" {
 		backend = "inmem"
 	}
+	timeout := time.Duration(spec.QueryTimeoutMS) * time.Millisecond
 	if backend == "ingest" {
+		if spec.BlockDelayUS > 0 {
+			return fmt.Errorf("server: table %q: block_delay_us is for static backends, not ingest", spec.Name)
+		}
 		wt, err := ingest.Open(spec.Path, ingest.Schema{
 			Columns:   spec.Columns,
 			Measures:  spec.Measures,
@@ -247,7 +266,7 @@ func (r *registry) load(spec TableSpec) error {
 		if err != nil {
 			return fmt.Errorf("server: opening ingest table %q at %s: %w", spec.Name, spec.Path, err)
 		}
-		if err := r.registerLive(spec.Name, spec.Path, wt); err != nil {
+		if err := r.registerLive(spec.Name, spec.Path, wt, timeout); err != nil {
 			wt.Close()
 			return err
 		}
@@ -302,7 +321,10 @@ func (r *registry) load(spec TableSpec) error {
 	if err != nil {
 		return fmt.Errorf("server: loading table %q from %s: %w", spec.Name, spec.Path, err)
 	}
-	if err := r.register(spec.Name, spec.Path, src); err != nil {
+	if spec.BlockDelayUS > 0 {
+		src = colstore.NewThrottledReader(src, time.Duration(spec.BlockDelayUS)*time.Microsecond)
+	}
+	if err := r.register(spec.Name, spec.Path, src, timeout); err != nil {
 		// Don't leak the file mapping when registration fails (e.g. a
 		// duplicate name on an admin reload).
 		if c, ok := src.(io.Closer); ok {

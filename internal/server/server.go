@@ -52,6 +52,11 @@ type Config struct {
 	// arbitrary file paths readable by the process — leave off unless the
 	// daemon is trusted-network only.
 	EnableAdmin bool
+	// QueryTimeout is the default per-request query timeout: a run past
+	// it stops and the response carries the best-effort partial answer
+	// (Partial set). 0 means no timeout; TableSpec.QueryTimeoutMS
+	// overrides it per table.
+	QueryTimeout time.Duration
 }
 
 // Server serves FastMatch queries over registered tables. Create with
@@ -107,9 +112,9 @@ func (s *Server) LoadTable(spec TableSpec) error { return s.reg.load(spec) }
 
 // RegisterTable registers an already-open storage source — the embedding
 // path for programs that construct tables with a Builder or open mmap
-// snapshots themselves.
+// snapshots themselves. The table inherits Config.QueryTimeout.
 func (s *Server) RegisterTable(name string, src colstore.Reader) error {
-	return s.reg.register(name, "(in-memory)", src)
+	return s.reg.register(name, "(in-memory)", src, 0)
 }
 
 // RegisterLiveTable registers an open ingest table; the server serves
@@ -117,7 +122,21 @@ func (s *Server) RegisterTable(name string, src colstore.Reader) error {
 // POST /v1/tables/{name}/rows. The server takes ownership: UnloadTable
 // (or /v1/admin/unload) closes it.
 func (s *Server) RegisterLiveTable(name string, wt *ingest.WritableTable) error {
-	return s.reg.registerLive(name, wt.Dir(), wt)
+	return s.reg.registerLive(name, wt.Dir(), wt, 0)
+}
+
+// timeoutFor resolves a table's effective query timeout: the per-table
+// setting when present (negative = explicitly none), the server default
+// otherwise.
+func (s *Server) timeoutFor(e *tableEntry) time.Duration {
+	switch {
+	case e.queryTimeout > 0:
+		return e.queryTimeout
+	case e.queryTimeout < 0:
+		return 0
+	default:
+		return s.cfg.QueryTimeout
+	}
 }
 
 // UnloadTable removes a table from the registry and closes its storage,

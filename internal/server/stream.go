@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"fastmatch/internal/engine"
+)
+
+// The NDJSON streaming form of the query API: POST /v1/query/stream
+// answers with one JSON object per line — zero or more progress frames
+// followed by exactly one terminal frame (a result or an error). The
+// terminal result payload is byte-identical to what POST /v1/query
+// returns for the same request (modulo the Partial flag when the run was
+// cut short), so a client can switch between the two endpoints freely.
+//
+// Frames:
+//
+//	{"type":"progress","progress":{...engine.Progress...}}
+//	{"type":"result","table":...,"cached":...,"duration_ns":...,"result":{...}}
+//	{"type":"error","error":"..."}
+//
+// The run is bound to the request context: a client that disconnects
+// mid-stream cancels the underlying scan at its next block boundary.
+
+// StreamFrame is one NDJSON line of a /v1/query/stream response.
+type StreamFrame struct {
+	// Type is "progress", "result", or "error".
+	Type string `json:"type"`
+	// Progress carries interim run state ("progress" frames). The first
+	// frame of every stream is a progress frame with phase "start",
+	// emitted before the run begins.
+	Progress *engine.Progress `json:"progress,omitempty"`
+	// Table/Cached/DurationNS/Result mirror the blocking endpoint's
+	// response ("result" frames).
+	Table      string          `json:"table,omitempty"`
+	Cached     bool            `json:"cached,omitempty"`
+	DurationNS int64           `json:"duration_ns,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	// Error describes a failed run ("error" frames).
+	Error string `json:"error,omitempty"`
+}
+
+// streamWriter serializes NDJSON frames onto the wire, flushing each so
+// progress is delivered as it happens, not when the response ends. The
+// mutex makes frame writes atomic even if an executor ever emits from a
+// worker goroutine.
+type streamWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	fl  http.Flusher
+}
+
+func (sw *streamWriter) frame(f StreamFrame) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	// A write error means the client is gone; the run's context (tied to
+	// the connection) is what actually stops the work, so errors here
+	// are deliberately dropped.
+	_ = sw.enc.Encode(f)
+	if sw.fl != nil {
+		sw.fl.Flush()
+	}
+}
+
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	pq := s.prepareQuery(w, r)
+	if pq == nil {
+		return
+	}
+	defer pq.release()
+
+	ctx, cancel, timedOut := s.runContext(r, pq)
+	defer cancel()
+
+	// Result-cache hits and all pre-run failures use plain HTTP statuses
+	// — nothing has been streamed yet, so the client still gets proper
+	// error semantics. Cached answers stream a single start frame and
+	// the terminal result, preserving the ≥1-progress-frame shape.
+	cachedPayload, cached := s.results.Get(pq.resultKey)
+	var plan *engine.Plan
+	var planHit bool
+	if !cached {
+		if !s.admit(ctx, w, pq) {
+			return
+		}
+		defer s.adm.release()
+		if s.testHookRunning != nil {
+			s.testHookRunning()
+		}
+		var err error
+		if plan, planHit, err = s.planFor(pq); err != nil {
+			pq.fail(w, http.StatusUnprocessableEntity, "planning query: %v", err)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	sw := &streamWriter{enc: json.NewEncoder(w), fl: fl}
+
+	// Every stream opens with a start frame: clients can render "query
+	// accepted" immediately, and even a cached or instant answer keeps
+	// the progress-then-result frame shape.
+	sw.frame(StreamFrame{Type: "progress", Progress: &engine.Progress{Phase: "start"}})
+
+	if cached {
+		pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeOK, false, true)
+		sw.frame(StreamFrame{
+			Type:       "result",
+			Table:      pq.req.Table,
+			Cached:     true,
+			DurationNS: int64(time.Since(pq.began)),
+			Result:     json.RawMessage(cachedPayload),
+		})
+		return
+	}
+
+	opts := pq.opts
+	opts.OnProgress = func(p engine.Progress) {
+		sw.frame(StreamFrame{Type: "progress", Progress: &p})
+	}
+	res, err := plan.RunContext(ctx, pq.target, opts)
+
+	if err != nil && !(res != nil && res.Partial) {
+		switch {
+		case errors.Is(err, context.Canceled):
+			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeCanceled, false, false)
+		case errors.Is(err, context.DeadlineExceeded):
+			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeTimedOut, false, false)
+			sw.frame(StreamFrame{Type: "error", Error: "query timed out before any result was available"})
+		default:
+			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeFailed, false, false)
+			sw.frame(StreamFrame{Type: "error", Error: "running query: " + err.Error()})
+		}
+		return
+	}
+	if err != nil && errors.Is(err, context.Canceled) && !timedOut() {
+		// Partial work, but the client is gone: account the cancellation
+		// (including the I/O the aborted scan did); no one is listening
+		// for a frame.
+		pq.entry.metrics.observe(time.Since(pq.began), res, outcomeCanceled, planHit, false)
+		return
+	}
+
+	payload, merr := json.Marshal(toPayload(res))
+	if merr != nil {
+		pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeFailed, false, false)
+		sw.frame(StreamFrame{Type: "error", Error: "encoding result: " + merr.Error()})
+		return
+	}
+	oc := outcomeOK
+	if res.Partial {
+		if timedOut() {
+			oc = outcomeTimedOut
+		}
+	} else {
+		// Identical seeded requests on the blocking endpoint reuse this
+		// exact payload — the byte-identity guarantee across endpoints.
+		s.results.Put(pq.resultKey, payload)
+	}
+	pq.entry.metrics.observe(time.Since(pq.began), res, oc, planHit, false)
+	sw.frame(StreamFrame{
+		Type:       "result",
+		Table:      pq.req.Table,
+		DurationNS: int64(time.Since(pq.began)),
+		Result:     json.RawMessage(payload),
+	})
+}

@@ -77,6 +77,9 @@ type OptionsSpec struct {
 	// produce identical results (and hit the result cache).
 	Seed    *int64 `json:"seed,omitempty"`
 	Workers *int   `json:"workers,omitempty"`
+	// RowBudget caps the tuples the run may read; exhausting it returns
+	// a best-effort partial result (Partial set in the payload).
+	RowBudget *int64 `json:"row_budget,omitempty"`
 }
 
 // ResultPayload is the JSON form of engine.Result, minus wall-clock
@@ -86,8 +89,14 @@ type ResultPayload struct {
 	TopK   []MatchPayload `json:"topk"`
 	Pruned []string       `json:"pruned,omitempty"`
 	Exact  bool           `json:"exact"`
-	Stats  StatsPayload   `json:"stats"`
-	IO     engine.IOStats `json:"io"`
+	// Partial flags a best-effort answer from a run stopped early by a
+	// timeout or row budget: ranked by the estimates at the stop point,
+	// no guarantees attached. Partial results are never cached, so a
+	// complete result's payload stays byte-identical whether a timeout
+	// was configured or not.
+	Partial bool           `json:"partial,omitempty"`
+	Stats   StatsPayload   `json:"stats"`
+	IO      engine.IOStats `json:"io"`
 	// GroupLabels names the histogram groups, aligned with the Histogram
 	// vectors in TopK.
 	GroupLabels []string `json:"group_labels"`
@@ -121,7 +130,8 @@ type ErrorResponse struct {
 // toPayload converts an engine result into its deterministic wire form.
 func toPayload(res *engine.Result) ResultPayload {
 	out := ResultPayload{
-		Exact: res.Exact,
+		Exact:   res.Exact,
+		Partial: res.Partial,
 		Stats: StatsPayload{
 			SamplesStage1:    res.Stats.SamplesStage1,
 			SamplesStage2:    res.Stats.SamplesStage2,
@@ -227,6 +237,9 @@ func (os *OptionsSpec) apply(opts *engine.Options) error {
 	}
 	if os.Workers != nil {
 		opts.Workers = *os.Workers
+	}
+	if os.RowBudget != nil {
+		opts.RowBudget = *os.RowBudget
 	}
 	return nil
 }

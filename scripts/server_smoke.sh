@@ -34,10 +34,11 @@ go build -o "$TMP/fastmatchd" ./cmd/fastmatchd
 echo "== generating flights dataset + snapshot"
 "$TMP/datagen" -dataset flights -rows 100000 -out "" -snapshot "$TMP/flights.fms"
 
-echo "== starting fastmatchd (same snapshot on the inmem and mmap backends)"
+echo "== starting fastmatchd (same snapshot on the inmem and mmap backends, plus a throttled copy)"
 "$TMP/fastmatchd" -listen "127.0.0.1:${PORT}" \
   -table "flights=$TMP/flights.fms" \
-  -table "flightsmm=$TMP/flights.fms?backend=mmap" &
+  -table "flightsmm=$TMP/flights.fms?backend=mmap" \
+  -table "flightsslow=$TMP/flights.fms?blockdelay=2ms" &
 PID=$!
 wait_healthy
 curl -fsS "$BASE/v1/healthz" | grep -q '"status":"ok"' || { echo "healthz not ok" >&2; exit 1; }
@@ -79,6 +80,43 @@ echo "$TABLES" | grep -Eq '"backend":"mmap(-fallback)?"' || { echo "mmap backend
 echo "$TABLES" | grep -q '"backend":"inmem"' || { echo "inmem backend not reported: $TABLES" >&2; exit 1; }
 STATS="$(curl -fsS "$BASE/v1/stats")"
 echo "$STATS" | grep -Eq '"backend":"mmap(-fallback)?"' || { echo "stats missing mmap backend: $STATS" >&2; exit 1; }
+
+echo "== /v1/query/stream: progress frames precede a result byte-identical to the blocking answer"
+SQUERY='{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scanmatch","epsilon":0.1,"seed":21}}'
+STREAM="$(curl -fsS -N -X POST "$BASE/v1/query/stream" -d "$SQUERY")"
+NFRAMES="$(printf '%s\n' "$STREAM" | grep -c '"type":')"
+[ "$NFRAMES" -ge 2 ] || { echo "stream produced $NFRAMES frames, want >= 2: $STREAM" >&2; exit 1; }
+printf '%s\n' "$STREAM" | head -1 | grep -q '"type":"progress"' || { echo "first frame not progress: $STREAM" >&2; exit 1; }
+printf '%s\n' "$STREAM" | head -n -1 | grep -q '"type":"result"' && { echo "result frame before the end of the stream" >&2; exit 1; }
+LAST="$(printf '%s\n' "$STREAM" | tail -1)"
+printf '%s' "$LAST" | grep -q '"type":"result"' || { echo "terminal frame not a result: $LAST" >&2; exit 1; }
+SP="$(printf '%s' "$LAST" | sed 's/.*"result"://')"
+RB="$(curl -fsS -X POST "$BASE/v1/query" -d "$SQUERY")"
+echo "$RB" | grep -q '"cached":true' || { echo "blocking repeat of streamed query not served from cache: $RB" >&2; exit 1; }
+PB="$(printf '%s' "$RB" | sed 's/.*"result"://')"
+[ "$SP" = "$PB" ] || { echo "streamed result differs from blocking result" >&2; echo "stream:   $SP" >&2; echo "blocking: $PB" >&2; exit 1; }
+
+echo "== row budget answers 200 with a partial result (and is not cached)"
+BQUERY='{"table":"flightsslow","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scan","seed":7,"row_budget":2000}}'
+RP="$(curl -fsS -X POST "$BASE/v1/query" -d "$BQUERY")"
+echo "$RP" | grep -q '"partial":true' || { echo "budgeted run not flagged partial: $RP" >&2; exit 1; }
+RP2="$(curl -fsS -X POST "$BASE/v1/query" -d "$BQUERY")"
+echo "$RP2" | grep -q '"cached":false' || { echo "partial result was cached: $RP2" >&2; exit 1; }
+
+echo "== killed stream client cancels the scan (canceled counter, IOStats frozen)"
+KQUERY='{"table":"flightsslow","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scan","seed":9}}'
+curl -sN --max-time 0.4 -X POST "$BASE/v1/query/stream" -d "$KQUERY" >/dev/null 2>&1 || true
+CANCELED=""
+for i in $(seq 1 50); do
+  SLOWSTATS="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flightsslow"://')"
+  if printf '%s' "$SLOWSTATS" | grep -o '"canceled":[0-9]*' | head -1 | grep -qv '"canceled":0'; then CANCELED=yes; break; fi
+  sleep 0.1
+done
+[ -n "$CANCELED" ] || { echo "canceled counter never ticked: $SLOWSTATS" >&2; exit 1; }
+IO1="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flightsslow"://' | grep -o '"TuplesRead":[0-9]*' | head -1)"
+sleep 0.6
+IO2="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flightsslow"://' | grep -o '"TuplesRead":[0-9]*' | head -1)"
+[ "$IO1" = "$IO2" ] || { echo "IOStats still growing after client kill: $IO1 -> $IO2" >&2; exit 1; }
 
 echo "== malformed requests are rejected cleanly"
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/query" -d '{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"epsilon":-1}}')"
