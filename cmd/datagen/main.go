@@ -15,9 +15,11 @@
 // -snapshot additionally writes the built table as a binary snapshot
 // (see internal/colstore: WriteSnapshot) that fastmatchd can cold-start
 // from without CSV re-parsing; pass -out "" to skip the CSV entirely.
-// Snapshots are written in format v2 (8-byte-aligned sections, mmap-able
-// zero-copy with -table name=path?backend=mmap); -snapshot-format 1
-// writes the legacy unaligned v1 layout for older readers.
+// Snapshots are written in format v3 (8-byte-aligned sections, mmap-able
+// zero-copy with -table name=path?backend=mmap, plus a per-block
+// statistics section for zone-map block skipping); -snapshot-format 2
+// drops the statistics section and -snapshot-format 1 writes the legacy
+// unaligned v1 layout, both for older readers.
 //
 // -stream POSTs the generated rows to a running fastmatchd append
 // endpoint as batched text/csv requests, rate-limited by -stream-rate
@@ -50,7 +52,7 @@ func main() {
 	out := flag.String("out", "-", "CSV output path (- for stdout, empty to skip CSV)")
 	snapshot := flag.String("snapshot", "", "also write a binary table snapshot to this path")
 	snapshotFormat := flag.Int("snapshot-format", colstore.CurrentSnapshotVersion,
-		"snapshot format version (2 = aligned/mmap-able, 1 = legacy)")
+		"snapshot format version (3 = aligned + block stats, 2 = aligned/mmap-able, 1 = legacy)")
 	summary := flag.Bool("summary", false, "print per-column summaries to stderr")
 	stream := flag.String("stream", "", "POST rows to this fastmatchd append endpoint (e.g. http://host:8080/v1/tables/NAME/rows)")
 	streamRate := flag.Int("stream-rate", 0, "rows per second for -stream (0 = unthrottled)")

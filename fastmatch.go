@@ -233,7 +233,10 @@ func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 // WriteSnapshot serializes a table as a versioned binary snapshot that
 // loads without CSV re-parsing and preserves the block layout exactly
 // (see internal/colstore for the format). Snapshots are written in
-// format v2: 8-byte-aligned sections that OpenMmap can serve in place.
+// format v3: 8-byte-aligned sections that OpenMmap can serve in place,
+// plus a per-block statistics section (categorical presence bitsets and
+// measure min/max) that powers zone-map block skipping without paging
+// in the data arrays.
 func WriteSnapshot(tbl *Table, path string) error { return colstore.WriteSnapshotFile(tbl, path) }
 
 // ReadSnapshot loads a table snapshot (any supported format version)

@@ -32,7 +32,11 @@ type IndexedReader interface {
 // Build scans the column once and constructs its index against the
 // source's block layout. It works over any storage backend (the Codes
 // slices are only read, per the colstore.Reader aliasing contract).
-// Backends implementing IndexedReader serve the index directly instead.
+// Backends implementing IndexedReader serve the index directly instead;
+// backends exposing exact per-block presence words (the stats computed
+// in every open's validation pass use the same value-major bit layout
+// as this index) serve Build by copying words, skipping the O(rows)
+// scan entirely.
 func Build(src colstore.Reader, columnName string) (*Index, error) {
 	if ir, ok := src.(IndexedReader); ok {
 		return ir.BlockIndex(columnName)
@@ -42,7 +46,24 @@ func Build(src colstore.Reader, columnName string) (*Index, error) {
 		return nil, err
 	}
 	nb := src.NumBlocks()
-	idx := &Index{perValue: make([]*Bitset, col.Cardinality()), blocks: nb}
+	card := col.Cardinality()
+	if br, ok := src.(colstore.BlockStatsReader); ok {
+		if st := br.BlockStats(); st != nil {
+			// PresenceWords is exact by contract (inexact stats decline), so
+			// the copied index is bit-for-bit what the scan below builds.
+			words, wpv, ok := st.PresenceWords(columnName)
+			if ok && wpv == (nb+wordBits-1)/wordBits && len(words) == card*wpv {
+				idx := &Index{perValue: make([]*Bitset, card), blocks: nb}
+				for v := range idx.perValue {
+					bs := NewBitset(nb)
+					copy(bs.words, words[v*wpv:(v+1)*wpv])
+					idx.perValue[v] = bs
+				}
+				return idx, nil
+			}
+		}
+	}
+	idx := &Index{perValue: make([]*Bitset, card), blocks: nb}
 	for v := range idx.perValue {
 		idx.perValue[v] = NewBitset(nb)
 	}

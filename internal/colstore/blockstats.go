@@ -1,0 +1,202 @@
+package colstore
+
+import "math"
+
+// Per-block statistics ("zone maps") for data skipping.
+//
+// BlockStats answers two conservative questions the engine's planner and
+// executors use to prove a block holds no qualifying row before reading
+// it: "may block b contain code v of column c?" and "what value range does
+// measure m span in block b?". Both answers are sound in the skipping
+// direction — a false MayContainCode and a disjoint MeasureRange are
+// proofs of absence; anything unknown reports "maybe", which merely costs
+// a block read that a full scan would have paid anyway.
+//
+// Precision varies by backend and is part of each backend's contract:
+// the in-memory table and stream-read snapshots compute exact per-block
+// stats in their open/validation pass; a zero-copy mapped v2 snapshot has
+// exact code presence (recomputed during its code-validation scan) but no
+// measure ranges (computing them would page in the measure arrays,
+// forfeiting the ~instant cold start); a v3 snapshot persists measure
+// ranges so the mapped open gets both; the live-ingest backend adapts its
+// per-segment zone maps, which are segment-granular (every block of a
+// segment reports the segment's range) with the unsealed tail unknown.
+
+// BlockStats exposes per-block column statistics. Implementations are
+// immutable and safe for concurrent readers.
+type BlockStats interface {
+	// MayContainCode reports whether block b may contain a row whose code
+	// for the named categorical column equals code. false is a proof of
+	// absence; true covers both presence and "unknown".
+	MayContainCode(column string, code uint32, b int) bool
+	// MeasureRange returns the closed interval [lo, hi] covering every
+	// finite value of the named measure in block b, with ok=false when the
+	// range is unknown. A block with no finite values reports the empty
+	// range lo=+Inf, hi=-Inf (ok=true): it provably bins nowhere.
+	MeasureRange(measure string, b int) (lo, hi float64, ok bool)
+	// PresenceWords returns the exact value-major presence bitset for the
+	// column when one exists: bit b of value v is
+	// words[int(v)*wordsPerValue + b/64] >> (b%64) & 1. ok=false means no
+	// exact bitset is available (the stats may still answer MayContainCode
+	// conservatively). The returned words are read-only.
+	PresenceWords(column string) (words []uint64, wordsPerValue int, ok bool)
+}
+
+// BlockStatsReader is an optional Reader capability: backends that keep
+// per-block statistics surface them here. BlockStats may return nil when
+// the backend has none (wrappers over stat-less readers).
+type BlockStatsReader interface {
+	BlockStats() BlockStats
+}
+
+// maxPresenceBits caps a column's presence bitset (cardinality × blocks
+// bits, ~16 MiB of words at the cap). Columns past it skip presence and
+// answer MayContainCode with "maybe" — correct, just never pruning.
+const maxPresenceBits = 1 << 27
+
+// presenceWordsPerValue is the stride of one value's block bits.
+func presenceWordsPerValue(numBlocks int) int { return (numBlocks + 63) / 64 }
+
+// presenceFits reports whether a column's presence bitset is worth
+// materializing. Writers and readers must agree on this decision: the v3
+// snapshot section stores one presence flag per column and the reader
+// cross-checks it.
+func presenceFits(cardinality, numBlocks int) bool {
+	return int64(cardinality)*int64(presenceWordsPerValue(numBlocks))*64 <= maxPresenceBits
+}
+
+// TableBlockStats is the concrete per-block statistics container shared
+// by the in-memory, snapshot, and mmap backends. Immutable once built.
+type TableBlockStats struct {
+	numBlocks int
+	presence  map[string]presenceStats
+	ranges    map[string]rangeStats
+}
+
+type presenceStats struct {
+	words []uint64
+	wpv   int
+}
+
+type rangeStats struct{ lo, hi []float64 }
+
+// NewTableBlockStats returns an empty container for a numBlocks-block
+// table, to be populated with SetPresence/SetMeasureRange before sharing.
+func NewTableBlockStats(numBlocks int) *TableBlockStats {
+	return &TableBlockStats{
+		numBlocks: numBlocks,
+		presence:  make(map[string]presenceStats),
+		ranges:    make(map[string]rangeStats),
+	}
+}
+
+// SetPresence installs a column's value-major presence words (aliased,
+// not copied; see PresenceWords for the layout).
+func (s *TableBlockStats) SetPresence(column string, words []uint64, wordsPerValue int) {
+	s.presence[column] = presenceStats{words: words, wpv: wordsPerValue}
+}
+
+// SetMeasureRange installs a measure's per-block [lo, hi] arrays
+// (aliased, not copied; length numBlocks each).
+func (s *TableBlockStats) SetMeasureRange(measure string, lo, hi []float64) {
+	s.ranges[measure] = rangeStats{lo: lo, hi: hi}
+}
+
+// MayContainCode implements BlockStats.
+func (s *TableBlockStats) MayContainCode(column string, code uint32, b int) bool {
+	p, ok := s.presence[column]
+	if !ok || b < 0 || b >= s.numBlocks {
+		return true
+	}
+	idx := int(code)*p.wpv + b>>6
+	if idx < 0 || idx >= len(p.words) {
+		// A code beyond the column's cardinality names no value at all, so
+		// no block contains it.
+		return false
+	}
+	return p.words[idx]>>(uint(b)&63)&1 != 0
+}
+
+// MeasureRange implements BlockStats.
+func (s *TableBlockStats) MeasureRange(measure string, b int) (lo, hi float64, ok bool) {
+	rg, found := s.ranges[measure]
+	if !found || b < 0 || b >= len(rg.lo) {
+		return 0, 0, false
+	}
+	return rg.lo[b], rg.hi[b], true
+}
+
+// PresenceWords implements BlockStats.
+func (s *TableBlockStats) PresenceWords(column string) ([]uint64, int, bool) {
+	p, ok := s.presence[column]
+	if !ok {
+		return nil, 0, false
+	}
+	return p.words, p.wpv, true
+}
+
+var _ BlockStats = (*TableBlockStats)(nil)
+
+// emptyMeasureRanges returns per-block range arrays initialized to the
+// empty interval (+Inf, -Inf), the identity of the min/max fold: NaN
+// values never update either bound (comparisons are false), so an
+// all-NaN block keeps the empty range — which provably bins nowhere.
+func emptyMeasureRanges(numBlocks int) (lo, hi []float64) {
+	lo = make([]float64, numBlocks)
+	hi = make([]float64, numBlocks)
+	for b := range lo {
+		lo[b] = math.Inf(1)
+		hi[b] = math.Inf(-1)
+	}
+	return lo, hi
+}
+
+// computeBlockStats scans a reader once and builds exact per-block
+// statistics: value presence for every categorical column under the size
+// cap, min/max for every measure. The single pass is the same shape as
+// the snapshot/mmap open validation, which fold the identical updates
+// into their existing loops instead of calling this.
+func computeBlockStats(r Reader) *TableBlockStats {
+	nb := r.NumBlocks()
+	s := NewTableBlockStats(nb)
+	for _, name := range r.Columns() {
+		col, err := r.ColumnByName(name)
+		if err != nil {
+			continue
+		}
+		card := col.Cardinality()
+		if !presenceFits(card, nb) {
+			continue
+		}
+		wpv := presenceWordsPerValue(nb)
+		words := make([]uint64, card*wpv)
+		for b := 0; b < nb; b++ {
+			lo, hi := r.BlockSpan(b)
+			w, bit := b>>6, uint64(1)<<(uint(b)&63)
+			for _, code := range col.Codes(lo, hi) {
+				words[int(code)*wpv+w] |= bit
+			}
+		}
+		s.SetPresence(name, words, wpv)
+	}
+	for _, name := range r.MeasureNames() {
+		m, err := r.MeasureByName(name)
+		if err != nil {
+			continue
+		}
+		lo, hi := emptyMeasureRanges(nb)
+		for b := 0; b < nb; b++ {
+			blo, bhi := r.BlockSpan(b)
+			for _, v := range m.Values(blo, bhi) {
+				if v < lo[b] {
+					lo[b] = v
+				}
+				if v > hi[b] {
+					hi[b] = v
+				}
+			}
+		}
+		s.SetMeasureRange(name, lo, hi)
+	}
+	return s
+}

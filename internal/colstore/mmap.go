@@ -11,10 +11,11 @@ import (
 
 // Zero-copy mmap snapshot backend.
 //
-// OpenMmapFile maps a version-2 snapshot (see snapshot.go) and serves its
-// code and measure arrays straight out of the mapping: v2 aligns every
-// array to an 8-byte file offset, so on a little-endian host the mapped
-// bytes are reinterpreted as []uint32 / []float64 in place. Cold start is
+// OpenMmapFile maps a version-2 or -3 snapshot (see snapshot.go) and
+// serves its code and measure arrays straight out of the mapping: v2+
+// aligns every array to an 8-byte file offset, so on a little-endian host
+// the mapped bytes are reinterpreted as []uint32 / []float64 in place.
+// Cold start is
 // therefore ~instant regardless of table size, residency is managed by
 // the OS page cache (tables larger than RAM work), and any number of
 // processes share one physical copy of the data.
@@ -31,9 +32,14 @@ import (
 // index candidate/group arrays out of bounds inside executor
 // goroutines). The code scan pages in the uint32 arrays sequentially —
 // still O(ms) for millions of rows and far cheaper than a full
-// materialize — while measure pages stay untouched until queried. Open
-// with ReadSnapshotFile to fully verify a snapshot of doubtful
-// provenance.
+// materialize — and folds per-block code-presence statistics into the
+// same pass, so block skipping works on mapped tables for free. Measure
+// pages stay untouched until queried: a v2 snapshot therefore has no
+// measure zone maps on this backend, while a v3 snapshot's persisted
+// ranges are adopted from its stats section (presence words there are
+// cross-checked against the recomputed ones; measure ranges are trusted,
+// consistent with this backend not hashing measure pages). Open with
+// ReadSnapshotFile to fully verify a snapshot of doubtful provenance.
 //
 // Fallback: on hosts without mmap support (see mmap_other.go), on
 // big-endian hosts, and for version-1 (unaligned) snapshots, OpenMmapFile
@@ -47,7 +53,7 @@ var hostLittleEndian = func() bool {
 	return *(*byte)(unsafe.Pointer(&x)) == 1
 }()
 
-// MmapTable is a Reader backed by a memory-mapped version-2 snapshot
+// MmapTable is a Reader backed by a memory-mapped version-2 or -3 snapshot
 // (or, in fallback mode, by a heap-materialized copy). It is immutable
 // and safe for concurrent readers. Close unmaps the file; every slice
 // previously returned by Codes/Values is invalid afterwards, so only
@@ -59,7 +65,7 @@ type MmapTable struct {
 	fallback string // why the open fell back to the heap ("" when mapped)
 }
 
-// OpenMmapFile opens a snapshot with the mmap backend. Version-2
+// OpenMmapFile opens a snapshot with the mmap backend. Version-2 and -3
 // snapshots map zero-copy on little-endian linux/darwin hosts; anything
 // else falls back to a verified in-memory materialization.
 func OpenMmapFile(path string) (*MmapTable, error) {
@@ -76,7 +82,7 @@ func OpenMmapFile(path string) (*MmapTable, error) {
 		return nil, fmt.Errorf("colstore: not a snapshot file (bad magic)")
 	}
 	version := int(magic[7])
-	if version != SnapshotV1 && version != SnapshotV2 {
+	if !snapshotVersionOK(version) {
 		return nil, fmt.Errorf("colstore: unsupported snapshot version %d (max %d)", version, CurrentSnapshotVersion)
 	}
 	reason := ""
@@ -98,7 +104,7 @@ func OpenMmapFile(path string) (*MmapTable, error) {
 		} else if data, err := mmapFile(f, int(st.Size())); err != nil {
 			reason = fmt.Sprintf("mmap failed: %v", err)
 		} else {
-			tbl, perr := parseMappedSnapshot(data)
+			tbl, perr := parseMappedSnapshot(data, version)
 			if perr != nil {
 				_ = munmap(data)
 				return nil, perr
@@ -123,7 +129,7 @@ func OpenMmapFile(path string) (*MmapTable, error) {
 // rejected here too, so a snapshot is valid on one backend iff it is
 // valid on the other (only the CRC check differs; see the package
 // comment above).
-func parseMappedSnapshot(data []byte) (*Table, error) {
+func parseMappedSnapshot(data []byte, version int) (*Table, error) {
 	off := 8 // past the magic
 	corrupt := func(what string) error {
 		return fmt.Errorf("colstore: mmap snapshot: truncated or corrupt %s (offset %d)", what, off)
@@ -204,6 +210,13 @@ func parseMappedSnapshot(data []byte) (*Table, error) {
 		rows:      rows,
 		blockSize: int(blockSize),
 	}
+	// Code-presence statistics are folded into the code-validation scan
+	// below (block-wise, so the per-block word/bit pair is hoisted out of
+	// the row loop); measure ranges come only from a v3 stats section —
+	// computing them here would page in the measure arrays.
+	nb := tbl.NumBlocks()
+	wpv := presenceWordsPerValue(nb)
+	stats := NewTableBlockStats(nb)
 	for ci := 0; ci < int(ncols); ci++ {
 		name, err := str("column name")
 		if err != nil {
@@ -239,12 +252,26 @@ func parseMappedSnapshot(data []byte) (*Table, error) {
 			return nil, corrupt("codes")
 		}
 		codes := castU32(data[off:], rows)
+		var words []uint64
+		if presenceFits(int(dictLen), nb) {
+			words = make([]uint64, int(dictLen)*wpv)
+		}
 		// Same check as the stream reader: an out-of-range code would
 		// later index candidate/group arrays out of bounds mid-query.
-		for i, code := range codes {
-			if code >= dictLen {
-				return nil, fmt.Errorf("colstore: snapshot column %q code %d out of range (dict size %d) at row %d", name, code, dictLen, i)
+		for b := 0; b < nb; b++ {
+			lo, hi := tbl.BlockSpan(b)
+			w, bit := b>>6, uint64(1)<<(uint(b)&63)
+			for i, code := range codes[lo:hi] {
+				if code >= dictLen {
+					return nil, fmt.Errorf("colstore: snapshot column %q code %d out of range (dict size %d) at row %d", name, code, dictLen, lo+i)
+				}
+				if words != nil {
+					words[int(code)*wpv+w] |= bit
+				}
 			}
+		}
+		if words != nil {
+			stats.SetPresence(name, words, wpv)
 		}
 		off += 4 * rows
 		tbl.colByName[name] = len(tbl.cols)
@@ -268,9 +295,59 @@ func parseMappedSnapshot(data []byte) (*Table, error) {
 		tbl.measures = append(tbl.measures, &MeasureColumn{Name: name, values: castF64(data[off:], rows)})
 		off += 8 * rows
 	}
+	if version >= SnapshotV3 {
+		// Presence words are cross-checked against the ones just recomputed
+		// from the codes (pages are already warm from the validation scan).
+		// Measure ranges are adopted as stored: verifying them would page in
+		// the measure arrays, which this backend deliberately never does at
+		// open (the CRC-checking stream reader verifies them bitwise).
+		for _, c := range tbl.cols {
+			flag, err := u32("stats presence flag")
+			if err != nil {
+				return nil, err
+			}
+			words, _, haveWords := stats.PresenceWords(c.Name)
+			if flag > 1 || (flag == 1) != haveWords {
+				return nil, fmt.Errorf("colstore: snapshot column %q presence flag %d disagrees with cardinality cap", c.Name, flag)
+			}
+			if flag == 0 {
+				continue
+			}
+			if err := pad8(); err != nil {
+				return nil, err
+			}
+			if len(words) > 0 && (len(data)-off)/8 < len(words) {
+				return nil, corrupt("stats presence words")
+			}
+			stored := castU64(data[off:], len(words))
+			for i := range words {
+				if stored[i] != words[i] {
+					return nil, fmt.Errorf("colstore: snapshot column %q stored presence disagrees with codes", c.Name)
+				}
+			}
+			off += 8 * len(words)
+		}
+		for _, m := range tbl.measures {
+			if err := pad8(); err != nil {
+				return nil, err
+			}
+			if nb > 0 && (len(data)-off)/8 < nb {
+				return nil, corrupt("stats measure minima")
+			}
+			mlo := append([]float64(nil), castF64(data[off:], nb)...)
+			off += 8 * nb
+			if nb > 0 && (len(data)-off)/8 < nb {
+				return nil, corrupt("stats measure maxima")
+			}
+			mhi := append([]float64(nil), castF64(data[off:], nb)...)
+			off += 8 * nb
+			stats.SetMeasureRange(m.Name, mlo, mhi)
+		}
+	}
 	if off+4 > len(data) {
 		return nil, corrupt("CRC trailer")
 	}
+	tbl.setBlockStats(stats)
 	return tbl, nil
 }
 
@@ -291,6 +368,16 @@ func castF64(b []byte, n int) []float64 {
 		return nil
 	}
 	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+}
+
+// castU64 reinterprets the first 8n bytes of b as n little-endian
+// uint64s in place. Same alignment and endianness requirements as
+// castU32.
+func castU64(b []byte, n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
 }
 
 // NumRows implements Reader.
@@ -334,6 +421,12 @@ func (mt *MmapTable) Storage() StorageStats {
 		HeapBytes:   mt.tbl.heapBytes(false),
 	}
 }
+
+// BlockStats implements BlockStatsReader. Both open paths pre-seed the
+// underlying table's stats (the mapped parse folds them into validation;
+// the fallback path inherits the stream reader's), so this never
+// triggers a lazy recomputation that would page in measure arrays.
+func (mt *MmapTable) BlockStats() BlockStats { return mt.tbl.BlockStats() }
 
 // Path returns the snapshot file the table was opened from.
 func (mt *MmapTable) Path() string { return mt.path }
@@ -385,4 +478,7 @@ func (mt *MmapTable) Materialize() *Table {
 	return out
 }
 
-var _ Reader = (*MmapTable)(nil)
+var (
+	_ Reader           = (*MmapTable)(nil)
+	_ BlockStatsReader = (*MmapTable)(nil)
+)

@@ -263,6 +263,23 @@ func TestSnapshotV2SectionAlignment(t *testing.T) {
 		pad8("measure", m)
 		off += 8 * rows
 	}
+	// v3 stats section: presence flag per column with 8-aligned words,
+	// then 8-aligned per-block min/max arrays per measure — the same
+	// alignment invariant, since the mapped reader casts these in place.
+	nb := tbl.NumBlocks()
+	wpv := presenceWordsPerValue(nb)
+	for c, name := range tbl.Columns() {
+		if flag := u32(); flag != 1 {
+			t.Fatalf("stats column %d: presence flag %d, fixture columns all fit the cap", c, flag)
+		}
+		pad8("stats column", c)
+		col, _ := tbl.Column(name)
+		off += 8 * col.Dict.Len() * wpv
+	}
+	for m := 0; m < nmeas; m++ {
+		pad8("stats measure", m)
+		off += 16 * nb
+	}
 	if off+4 != len(data) {
 		t.Fatalf("trailer at %d, file is %d bytes", off, len(data))
 	}

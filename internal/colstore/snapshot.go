@@ -18,7 +18,7 @@ import (
 // layout and the row permutation are preserved exactly, so a table read
 // back from a snapshot produces byte-identical query results.
 //
-// Two format versions exist (all integers little-endian, strings
+// Three format versions exist (all integers little-endian, strings
 // length-prefixed by uint32):
 //
 //	offset 0: magic "FMSNAP\x00" + version byte (8 bytes total)
@@ -29,29 +29,52 @@ import (
 //	per categorical column (declaration order):
 //	          string name
 //	          uint32 dictionary length, then each value as a string
-//	          [v2 only] zero padding to the next 8-byte file offset
+//	          [v2+] zero padding to the next 8-byte file offset
 //	          rows × uint32 codes
 //	per measure column (declaration order):
 //	          string name
-//	          [v2 only] zero padding to the next 8-byte file offset
+//	          [v2+] zero padding to the next 8-byte file offset
 //	          rows × float64 (IEEE 754 bits) values
+//	[v3 only] block-statistics section (see below)
 //	trailer:  uint32 CRC-32 (IEEE) of every byte after the magic
 //	          (padding included)
 //
-// Version 1 packs sections back to back. Version 2 (the current default)
-// pads each code/value array out to an 8-byte-aligned file offset, so an
-// mmap'd snapshot can serve the arrays in place — reinterpreted as
-// []uint32 / []float64 with zero copy — on little-endian hosts (see
-// OpenMmapFile). Readers accept both versions and reject anything newer.
+// Version 1 packs sections back to back. Version 2 pads each code/value
+// array out to an 8-byte-aligned file offset, so an mmap'd snapshot can
+// serve the arrays in place — reinterpreted as []uint32 / []float64 with
+// zero copy — on little-endian hosts (see OpenMmapFile). Version 3 (the
+// current default) additionally persists per-block statistics after the
+// measure sections, so a zero-copy mapped open gets measure zone maps
+// without ever paging in the measure arrays:
+//
+//	per categorical column (declaration order):
+//	          uint32 hasPresence (1 iff the column's cardinality fits
+//	          the presence cap; see presenceFits)
+//	          if 1: zero padding to the next 8-byte offset, then
+//	          cardinality × wordsPerValue(numBlocks) uint64 value-major
+//	          presence words (bit b of value v = block b may contain v)
+//	per measure column (declaration order):
+//	          zero padding to the next 8-byte offset
+//	          numBlocks × float64 per-block minima
+//	          numBlocks × float64 per-block maxima
+//
+// Readers accept all three versions and reject anything newer.
 
 // Snapshot format versions. WriteSnapshot writes
 // CurrentSnapshotVersion; readers accept every version listed here.
 const (
 	SnapshotV1 = 1 // unaligned sections (legacy, still readable)
 	SnapshotV2 = 2 // 8-byte-aligned sections, mmap-able in place
+	SnapshotV3 = 3 // v2 + persisted per-block statistics section
 
-	CurrentSnapshotVersion = SnapshotV2
+	CurrentSnapshotVersion = SnapshotV3
 )
+
+// snapshotVersionOK reports whether version is a writable/readable
+// snapshot format version.
+func snapshotVersionOK(version int) bool {
+	return version == SnapshotV1 || version == SnapshotV2 || version == SnapshotV3
+}
 
 // snapshotMagicPrefix identifies snapshot files; the eighth byte is the
 // format version.
@@ -79,10 +102,10 @@ func WriteSnapshot(tbl *Table, w io.Writer) error {
 }
 
 // WriteSnapshotVersion serializes a table in an explicit format version —
-// SnapshotV2 (current) or SnapshotV1 (legacy, for cross-version tooling
-// and compatibility tests).
+// SnapshotV3 (current), or SnapshotV2/SnapshotV1 (legacy, for
+// cross-version tooling and compatibility tests).
 func WriteSnapshotVersion(tbl *Table, w io.Writer, version int) error {
-	if version != SnapshotV1 && version != SnapshotV2 {
+	if !snapshotVersionOK(version) {
 		return fmt.Errorf("colstore: unsupported snapshot version %d", version)
 	}
 	bw := bufio.NewWriterSize(w, ioChunk)
@@ -187,6 +210,74 @@ func WriteSnapshotVersion(tbl *Table, w io.Writer, version int) error {
 			values = values[n:]
 		}
 	}
+	if version >= SnapshotV3 {
+		// Block-statistics section: presence words per categorical column
+		// (flagged, so over-cap columns cost 4 bytes), then per-block
+		// min/max per measure. Everything is CRC-covered like the rest.
+		stats := tbl.snapshotStats()
+		writeU64s := func(vals []uint64) error {
+			for len(vals) > 0 {
+				n := len(vals)
+				if n > len(buf)/8 {
+					n = len(buf) / 8
+				}
+				for i := 0; i < n; i++ {
+					binary.LittleEndian.PutUint64(buf[8*i:], vals[i])
+				}
+				if _, err := cw.Write(buf[:8*n]); err != nil {
+					return err
+				}
+				vals = vals[n:]
+			}
+			return nil
+		}
+		writeF64s := func(vals []float64) error {
+			for len(vals) > 0 {
+				n := len(vals)
+				if n > len(buf)/8 {
+					n = len(buf) / 8
+				}
+				for i := 0; i < n; i++ {
+					binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(vals[i]))
+				}
+				if _, err := cw.Write(buf[:8*n]); err != nil {
+					return err
+				}
+				vals = vals[n:]
+			}
+			return nil
+		}
+		for _, c := range tbl.cols {
+			words, _, ok := stats.PresenceWords(c.Name)
+			if !ok {
+				if err := putU32(0); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := putU32(1); err != nil {
+				return err
+			}
+			if err := pad8(); err != nil {
+				return err
+			}
+			if err := writeU64s(words); err != nil {
+				return err
+			}
+		}
+		for _, m := range tbl.measures {
+			if err := pad8(); err != nil {
+				return err
+			}
+			rg := stats.ranges[m.Name]
+			if err := writeF64s(rg.lo); err != nil {
+				return err
+			}
+			if err := writeF64s(rg.hi); err != nil {
+				return err
+			}
+		}
+	}
 	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
 	if _, err := bw.Write(scratch[:4]); err != nil {
 		return err
@@ -226,7 +317,7 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("colstore: not a snapshot file (bad magic)")
 	}
 	version := int(magic[7])
-	if version != SnapshotV1 && version != SnapshotV2 {
+	if !snapshotVersionOK(version) {
 		return nil, fmt.Errorf("colstore: unsupported snapshot version %d (max %d)", version, CurrentSnapshotVersion)
 	}
 	crc := crc32.NewIEEE()
@@ -315,6 +406,12 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 		blockSize: int(blockSize),
 	}
 	buf := make([]byte, ioChunk)
+	// Per-block statistics are folded into the same sequential validation
+	// pass that checks code ranges, so every stream-read table carries
+	// them for free; a v3 stats section is verified against them below.
+	nb := tbl.NumBlocks()
+	wpv := presenceWordsPerValue(nb)
+	stats := NewTableBlockStats(nb)
 	for ci := 0; ci < int(ncols); ci++ {
 		name, err := getStr()
 		if err != nil {
@@ -348,6 +445,10 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 		// header's row count up front: a corrupt or truncated file can
 		// then only force allocation proportional to its real size.
 		codes := make([]uint32, 0, min(rows, ioChunk))
+		var words []uint64
+		if presenceFits(int(dictLen), nb) {
+			words = make([]uint64, int(dictLen)*wpv)
+		}
 		for len(codes) < rows {
 			n := rows - len(codes)
 			if n > len(buf)/4 {
@@ -361,8 +462,15 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 				if code >= dictLen {
 					return nil, fmt.Errorf("colstore: snapshot column %q code %d out of range (dict size %d)", name, code, dictLen)
 				}
+				if words != nil {
+					b := len(codes) / tbl.blockSize
+					words[int(code)*wpv+b>>6] |= 1 << (uint(b) & 63)
+				}
 				codes = append(codes, code)
 			}
+		}
+		if words != nil {
+			stats.SetPresence(name, words, wpv)
 		}
 		tbl.colByName[name] = len(tbl.cols)
 		tbl.cols = append(tbl.cols, &Column{Name: name, Dict: dict, codes: codes})
@@ -379,6 +487,7 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 			return fail("alignment padding", err)
 		}
 		values := make([]float64, 0, min(rows, ioChunk))
+		mlo, mhi := emptyMeasureRanges(nb)
 		for len(values) < rows {
 			n := rows - len(values)
 			if n > len(buf)/8 {
@@ -388,11 +497,81 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 				return fail("measure values", err)
 			}
 			for i := 0; i < n; i++ {
-				values = append(values, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+				v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+				b := len(values) / tbl.blockSize
+				if v < mlo[b] {
+					mlo[b] = v
+				}
+				if v > mhi[b] {
+					mhi[b] = v
+				}
+				values = append(values, v)
 			}
 		}
+		stats.SetMeasureRange(name, mlo, mhi)
 		tbl.measByID[name] = len(tbl.measures)
 		tbl.measures = append(tbl.measures, &MeasureColumn{Name: name, values: values})
+	}
+	if version >= SnapshotV3 {
+		// Verify the persisted statistics against the stats just recomputed
+		// from the validated codes/values: both sides run the identical fold,
+		// so any bit difference is corruption the CRC would also catch — but
+		// checking here gives a precise error and keeps readers honest about
+		// the invariant that stored stats always match the data.
+		for _, c := range tbl.cols {
+			flag, err := getU32()
+			if err != nil {
+				return fail("stats presence flag", err)
+			}
+			words, _, haveWords := stats.PresenceWords(c.Name)
+			if flag > 1 || (flag == 1) != haveWords {
+				return nil, fmt.Errorf("colstore: snapshot column %q presence flag %d disagrees with cardinality cap", c.Name, flag)
+			}
+			if flag == 0 {
+				continue
+			}
+			if err := skipPad(); err != nil {
+				return fail("alignment padding", err)
+			}
+			for i := 0; i < len(words); {
+				n := len(words) - i
+				if n > len(buf)/8 {
+					n = len(buf) / 8
+				}
+				if _, err := io.ReadFull(cr, buf[:8*n]); err != nil {
+					return fail("stats presence words", err)
+				}
+				for j := 0; j < n; j++ {
+					if binary.LittleEndian.Uint64(buf[8*j:]) != words[i+j] {
+						return nil, fmt.Errorf("colstore: snapshot column %q stored presence disagrees with codes", c.Name)
+					}
+				}
+				i += n
+			}
+		}
+		for _, m := range tbl.measures {
+			if err := skipPad(); err != nil {
+				return fail("alignment padding", err)
+			}
+			rg := stats.ranges[m.Name]
+			for _, arr := range [2][]float64{rg.lo, rg.hi} {
+				for i := 0; i < len(arr); {
+					n := len(arr) - i
+					if n > len(buf)/8 {
+						n = len(buf) / 8
+					}
+					if _, err := io.ReadFull(cr, buf[:8*n]); err != nil {
+						return fail("stats measure ranges", err)
+					}
+					for j := 0; j < n; j++ {
+						if binary.LittleEndian.Uint64(buf[8*j:]) != math.Float64bits(arr[i+j]) {
+							return nil, fmt.Errorf("colstore: snapshot measure %q stored range disagrees with values", m.Name)
+						}
+					}
+					i += n
+				}
+			}
+		}
 	}
 	want := crc.Sum32()
 	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
@@ -401,6 +580,7 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 	if got := binary.LittleEndian.Uint32(scratch[:4]); got != want {
 		return nil, fmt.Errorf("colstore: snapshot CRC mismatch (file %08x, computed %08x)", got, want)
 	}
+	tbl.setBlockStats(stats)
 	return tbl, nil
 }
 
@@ -413,7 +593,7 @@ func WriteSnapshotFile(tbl *Table, path string) error {
 // WriteSnapshotFileVersion writes a table snapshot to path in an explicit
 // format version.
 func WriteSnapshotFileVersion(tbl *Table, path string, version int) error {
-	if version != SnapshotV1 && version != SnapshotV2 {
+	if !snapshotVersionOK(version) {
 		// Reject before os.Create truncates an existing snapshot at path.
 		return fmt.Errorf("colstore: unsupported snapshot version %d", version)
 	}

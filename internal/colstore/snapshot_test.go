@@ -132,14 +132,14 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 	}
 }
 
-// TestSnapshotCrossVersion writes both supported format versions and
+// TestSnapshotCrossVersion writes every supported format version and
 // checks the version-gated reader accepts each, yielding identical
 // tables: v1 snapshots written before the aligned v2 format stay
 // loadable forever.
 func TestSnapshotCrossVersion(t *testing.T) {
 	tbl := snapshotFixture(t)
 	want := csvDump(t, tbl)
-	for _, version := range []int{SnapshotV1, SnapshotV2} {
+	for _, version := range []int{SnapshotV1, SnapshotV2, SnapshotV3} {
 		var buf bytes.Buffer
 		if err := WriteSnapshotVersion(tbl, &buf, version); err != nil {
 			t.Fatalf("v%d write: %v", version, err)
@@ -163,7 +163,7 @@ func TestSnapshotCrossVersion(t *testing.T) {
 	if v2.Len() < v1.Len() || v2.Len() > v1.Len()+8*8 {
 		t.Fatalf("suspicious size delta: v1 %d bytes, v2 %d bytes", v1.Len(), v2.Len())
 	}
-	if err := WriteSnapshotVersion(tbl, &bytes.Buffer{}, 3); err == nil {
+	if err := WriteSnapshotVersion(tbl, &bytes.Buffer{}, 4); err == nil {
 		t.Fatal("unknown write version not rejected")
 	}
 }

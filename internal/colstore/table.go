@@ -3,6 +3,7 @@ package colstore
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Column is a dictionary-encoded categorical column. Codes index into the
@@ -60,6 +61,41 @@ type Table struct {
 	measByID  map[string]int
 	rows      int
 	blockSize int
+
+	// stats holds the table's per-block statistics. Open paths that
+	// already scan every row (snapshot read, mmap validation) pre-seed it
+	// via setBlockStats; otherwise the first BlockStats call computes it
+	// with one sequential pass, cached by statsOnce.
+	statsOnce sync.Once
+	stats     *TableBlockStats
+}
+
+// setBlockStats pre-seeds the table's block statistics from an open path
+// that computed them during its own sequential pass. Must run before the
+// table is shared; a later BlockStats call returns the seeded stats.
+func (t *Table) setBlockStats(s *TableBlockStats) {
+	t.statsOnce.Do(func() { t.stats = s })
+}
+
+// BlockStats implements BlockStatsReader. The first call on a table no
+// open path seeded (builder-constructed tables) pays one sequential scan;
+// every call after returns the cached statistics.
+func (t *Table) BlockStats() BlockStats {
+	t.statsOnce.Do(func() { t.stats = computeBlockStats(t) })
+	return t.stats
+}
+
+// snapshotStats returns statistics complete enough to persist in a v3
+// snapshot: seeded stats missing measure ranges (a zero-copy mapped v2
+// table deliberately skips them) are recomputed in full.
+func (t *Table) snapshotStats() *TableBlockStats {
+	t.statsOnce.Do(func() { t.stats = computeBlockStats(t) })
+	for _, m := range t.measures {
+		if _, ok := t.stats.ranges[m.Name]; !ok {
+			return computeBlockStats(t)
+		}
+	}
+	return t.stats
 }
 
 // NumRows returns the number of tuples.
@@ -227,9 +263,10 @@ func NewTable(blockSize, rows int, cols []*Column, measures []*MeasureColumn) (*
 // Compile-time interface conformance checks: the in-memory table is the
 // reference Reader backend.
 var (
-	_ Reader        = (*Table)(nil)
-	_ ColumnReader  = (*Column)(nil)
-	_ MeasureReader = (*MeasureColumn)(nil)
+	_ Reader           = (*Table)(nil)
+	_ BlockStatsReader = (*Table)(nil)
+	_ ColumnReader     = (*Column)(nil)
+	_ MeasureReader    = (*MeasureColumn)(nil)
 )
 
 // Builder accumulates rows and produces an immutable Table. Columns are

@@ -34,6 +34,20 @@ func (t *ThrottledReader) BlockSpan(b int) (lo, hi int) {
 	return t.Reader.BlockSpan(b)
 }
 
+// BlockStats forwards the underlying reader's block statistics (the
+// embedded Reader would hide the optional capability behind the
+// interface value otherwise), so throttled cancellation/progressive
+// tests exercise the same pruned paths as the raw backend. Executors
+// must not charge the simulated latency for pruned blocks: a skipped
+// block is one the storage never serves, so they compute its span
+// arithmetically instead of calling BlockSpan.
+func (t *ThrottledReader) BlockStats() BlockStats {
+	if br, ok := t.Reader.(BlockStatsReader); ok {
+		return br.BlockStats()
+	}
+	return nil
+}
+
 // Storage implements Reader, reporting the underlying backend with a
 // "+throttled" marker so stats make the simulation visible.
 func (t *ThrottledReader) Storage() StorageStats {

@@ -103,6 +103,18 @@ type Options struct {
 	// ErrBudgetExhausted. The cap is enforced at block granularity, so
 	// up to one block per worker may be read past it.
 	RowBudget int64
+	// DisableBlockSkip turns off statistics-based block pruning. Pruning
+	// never changes results — skipped blocks are provably free of
+	// qualifying rows and their rows are still charged to budgets and
+	// totals — so the only observable difference is in IOStats
+	// (BlocksPruned, and lower TuplesRead/BlocksRead). The knob exists
+	// for measurement and for the equivalence suite.
+	DisableBlockSkip bool
+	// DisableScanKernels turns off the vectorized grouped-count kernels,
+	// forcing the scalar per-row accumulation path everywhere. Results
+	// are byte-identical either way (IOStats.KernelBlocks is the only
+	// delta); the knob exists for benchmarking the kernels' contribution.
+	DisableScanKernels bool
 }
 
 // Result is a complete query answer.
@@ -292,7 +304,7 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 				opts.OnProgress(Progress{Phase: "scan", IO: io, Elapsed: time.Since(began)})
 			}
 		}
-		res, err := p.runScan(target, opts.Params, workers, guard, emit)
+		res, err := p.runScan(target, opts, workers, guard, emit)
 		if res == nil {
 			return nil, err
 		}
@@ -310,6 +322,13 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 		}
 	}
 	bs := newBlockSampler(p.engine.src, p.cand, p.grp, p.query.Filter, opts.Executor, opts.Lookahead, start, guard)
+	if !opts.DisableBlockSkip {
+		bs.skipAll = p.skipAll
+		bs.skipGrp = p.skipGrp
+	}
+	if !opts.DisableScanKernels {
+		bs.initFastPath()
+	}
 	var obs core.Observer
 	if opts.OnProgress != nil {
 		obs = func(s core.Snapshot) {

@@ -38,6 +38,13 @@ func (w *fpWriter) int(tag string, v int64) {
 	w.sb.WriteByte(';')
 }
 
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Fingerprint returns a canonical cache key for the query shape: two
 // queries with the same fingerprint resolve to interchangeable Plans over
 // the same Engine. Queries carrying a Filter closure are not
@@ -119,5 +126,10 @@ func (o Options) Fingerprint() string {
 	w.int("seed", o.Seed)
 	w.int("workers", int64(o.Workers))
 	w.int("rowbudget", o.RowBudget)
+	// Results are byte-identical across these two knobs; they are still
+	// fingerprinted because cached Results carry IOStats, which the knobs
+	// do change.
+	w.int("noskip", boolInt(o.DisableBlockSkip))
+	w.int("nokern", boolInt(o.DisableScanKernels))
 	return w.sb.String()
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"fastmatch/internal/bitmap"
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/histogram"
 )
@@ -19,6 +20,21 @@ type Plan struct {
 	cand   candidateMapper
 	multi  *predicateCandidates // non-nil iff candidates may overlap
 	grp    groupMapper
+	// skipAll / skipGrp mark blocks the storage backend's block statistics
+	// prove free of qualifying rows; executors consume them virtually
+	// (rows charged to guards and totals, nothing read) so results stay
+	// byte-identical to a pruning-off run. skipGrp holds only the
+	// group-side (measure-range) prunes; skipAll additionally folds in the
+	// candidate-side prunes (complement of the predicate candidates' block
+	// union), so skipGrp ⊆ skipAll. The split exists because SyncMatch and
+	// FastMatch already skip non-candidate blocks via AnyActive without
+	// charging samples — pruning those virtually would change Drawn and
+	// break byte-identity — so they apply only skipGrp, after the
+	// AnyActive check. Both are built once at Prepare from
+	// option-independent inputs, keeping Plans cache- and
+	// concurrency-safe; Options.DisableBlockSkip gates their use per run.
+	skipAll *bitmap.Bitset
+	skipGrp *bitmap.Bitset
 }
 
 // Prepare resolves a query into a reusable Plan. Run, RunWithTarget, and
@@ -40,7 +56,79 @@ func (e *Engine) Prepare(q Query) (*Plan, error) {
 	if pc, ok := cand.(*predicateCandidates); ok {
 		p.multi = pc
 	}
+	p.buildSkipMasks()
 	return p, nil
+}
+
+// blockStatsOf surfaces a backend's block statistics, or nil when the
+// backend (or, for a wrapper like ThrottledReader, its inner reader)
+// carries none.
+func blockStatsOf(src colstore.Reader) colstore.BlockStats {
+	if br, ok := src.(colstore.BlockStatsReader); ok {
+		return br.BlockStats()
+	}
+	return nil
+}
+
+// buildSkipMasks derives the plan's block-skip masks from the backend's
+// block statistics and the plan shape. Group-side: a binned-measure query
+// skips blocks whose measure range lies entirely outside the binner's
+// edge span (Bin assigns no group to such values, so no row in the block
+// can count). Candidate-side: a predicate-candidate query skips blocks
+// outside the union of all candidates' possible blocks (no predicate can
+// match there). Both prunes are sound by construction — a skipped block
+// provably contributes to no histogram — which the equivalence suite
+// verifies by re-reading pruned blocks.
+func (p *Plan) buildSkipMasks() {
+	nb := p.engine.src.NumBlocks()
+	if nb == 0 {
+		return
+	}
+	var grpMask *bitmap.Bitset
+	if bg, ok := p.grp.(binnedGroups); ok {
+		if stats := blockStatsOf(p.engine.src); stats != nil {
+			edges := bg.binner.Edges()
+			if len(edges) >= 2 {
+				name := bg.m.MeasureName()
+				for b := 0; b < nb; b++ {
+					lo, hi, ok := stats.MeasureRange(name, b)
+					if ok && (hi < edges[0] || lo > edges[len(edges)-1]) {
+						if grpMask == nil {
+							grpMask = bitmap.NewBitset(nb)
+						}
+						grpMask.Set(b)
+					}
+				}
+			}
+		}
+	}
+	var candMask *bitmap.Bitset
+	if p.multi != nil {
+		union := bitmap.NewBitset(nb)
+		for _, bs := range p.multi.blocks {
+			_ = union.Or(bs) // lengths match by construction
+		}
+		for b := 0; b < nb; b++ {
+			if !union.Get(b) {
+				if candMask == nil {
+					candMask = bitmap.NewBitset(nb)
+				}
+				candMask.Set(b)
+			}
+		}
+	}
+	p.skipGrp = grpMask
+	switch {
+	case candMask == nil:
+		p.skipAll = grpMask
+	case grpMask == nil:
+		p.skipAll = candMask
+	default:
+		all := bitmap.NewBitset(nb)
+		_ = all.Or(grpMask)
+		_ = all.Or(candMask)
+		p.skipAll = all
+	}
 }
 
 // plan is the internal form of Prepare, kept for call sites that want the

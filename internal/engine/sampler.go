@@ -55,12 +55,23 @@ func (e Executor) String() string {
 
 // IOStats counts the I/O work a run performed.
 type IOStats struct {
-	// BlocksRead / BlocksSkipped count AnyActive decisions.
-	BlocksRead, BlocksSkipped int64
-	// TuplesRead counts tuples consumed.
-	TuplesRead int64
+	// BlocksRead / BlocksSkipped count block-selection decisions:
+	// AnyActive skips and zone-map prunes both land in BlocksSkipped.
+	BlocksRead    int64 `json:"blocks_read"`
+	BlocksSkipped int64 `json:"blocks_skipped"`
+	// BlocksPruned counts the subset of BlocksSkipped proven row-free by
+	// per-block statistics (zone maps) rather than by AnyActive.
+	BlocksPruned int64 `json:"blocks_pruned"`
+	// TuplesRead counts tuples consumed. Rows of pruned blocks are
+	// charged to guards and sample accounting (so results stay
+	// byte-identical with pruning off) but are NOT counted here: the
+	// whole point of pruning is that they were never read.
+	TuplesRead int64 `json:"tuples_read"`
+	// KernelBlocks counts blocks accumulated by a vectorized scan kernel
+	// instead of the scalar per-row path.
+	KernelBlocks int64 `json:"kernel_blocks"`
 	// Wraps counts cursor wrap-arounds over the block space.
-	Wraps int64
+	Wraps int64 `json:"wraps"`
 }
 
 // Add accumulates other into s (used by per-worker merge and by serving
@@ -68,7 +79,9 @@ type IOStats struct {
 func (s *IOStats) Add(other IOStats) {
 	s.BlocksRead += other.BlocksRead
 	s.BlocksSkipped += other.BlocksSkipped
+	s.BlocksPruned += other.BlocksPruned
 	s.TuplesRead += other.TuplesRead
+	s.KernelBlocks += other.KernelBlocks
 	s.Wraps += other.Wraps
 }
 
@@ -90,6 +103,27 @@ type blockSampler struct {
 	cursor    int
 	exact     []bool // sticky per-candidate exhaustion flags
 	stats     IOStats
+	blockSize int // cached: pruned blocks must not pay BlockSpan
+	rows      int
+
+	// Zone-map pruning masks (nil = no pruning). skipAll marks blocks
+	// provably free of qualifying rows for every candidate — safe to
+	// virtual-skip wherever a full read would happen (Stage1, ScanMatch).
+	// skipGrp ⊆ skipAll marks only group-prunable blocks; it is the mask
+	// SyncMatch/FastMatch apply AFTER their AnyActive probe (blocks
+	// AnyActive already rejects are skipped without sample accounting,
+	// and pruning them here instead would perturb Drawn).
+	skipAll *bitmap.Bitset
+	skipGrp *bitmap.Bitset
+
+	// Devirtualized fast path for the dominant single-Z/single-X shape:
+	// captured code slices replace the per-row interface dispatch of
+	// groupOf/candidateOf. record() still runs per row, so deficit
+	// bookkeeping and published active sets are byte-identical.
+	fastOK    bool
+	fastZ     []uint32
+	fastX     []uint32
+	fastRemap []int // nil = identity
 
 	// Round-local state shared between the I/O manager (reader) and the
 	// FastMatch marker goroutine. The reader owns deficit/unmet; the
@@ -123,6 +157,8 @@ func newBlockSampler(src colstore.Reader, cand candidateMapper, grp groupMapper,
 		cursor:    cursor,
 		exact:     make([]bool, cand.numCandidates()),
 		deficit:   make([]int64, cand.numCandidates()),
+		blockSize: src.BlockSize(),
+		rows:      src.NumRows(),
 	}
 	if pc, ok := cand.(*predicateCandidates); ok {
 		bs.multi = pc
@@ -146,7 +182,9 @@ func (bs *blockSampler) Stats() IOStats {
 	return IOStats{
 		BlocksRead:    atomic.LoadInt64(&bs.stats.BlocksRead),
 		BlocksSkipped: atomic.LoadInt64(&bs.stats.BlocksSkipped),
+		BlocksPruned:  atomic.LoadInt64(&bs.stats.BlocksPruned),
 		TuplesRead:    atomic.LoadInt64(&bs.stats.TuplesRead),
+		KernelBlocks:  atomic.LoadInt64(&bs.stats.KernelBlocks),
 		Wraps:         atomic.LoadInt64(&bs.stats.Wraps),
 	}
 }
@@ -183,9 +221,37 @@ func (bs *blockSampler) Stage1(m int) (*core.Batch, error) {
 		if bs.consumed.Get(b) {
 			continue
 		}
+		if bs.skipAll != nil && bs.skipAll.Get(b) {
+			bs.skipVirtual(b, batch)
+			continue
+		}
 		bs.readBlock(b, batch)
 	}
 	return bs.sealBatch(batch), nil
+}
+
+// skipVirtual consumes a stats-pruned block without reading it. Every
+// quantity that feeds the statistics engine or a termination guard is
+// charged exactly as a real read of a qualifying-row-free block would
+// charge it — Drawn (stage-1 p-values consume it), the guard's row
+// budget, the consumed set driving exactness inference — so the run's
+// decisions, and therefore its results (including partials under
+// cancellation), are byte-identical to a run with pruning disabled. The
+// only deltas are the documented I/O counters, and BlockSpan is never
+// called: a simulated-latency backend must not sleep for a block the
+// scan proved it does not need.
+func (bs *blockSampler) skipVirtual(b int, batch *core.Batch) {
+	lo := b * bs.blockSize
+	hi := lo + bs.blockSize
+	if hi > bs.rows {
+		hi = bs.rows
+	}
+	batch.Drawn += int64(hi - lo)
+	bs.guard.addRows(int64(hi - lo))
+	bs.consumed.Set(b)
+	bs.consCnt++
+	atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
+	atomic.AddInt64(&bs.stats.BlocksPruned, 1)
 }
 
 // SampleUntil implements core.Sampler with the executor's block policy.
@@ -280,6 +346,15 @@ func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) error {
 				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
 				continue
 			}
+			// Group-prunable blocks only: candidate-prunable ones were
+			// already rejected (without sample accounting) by AnyActive.
+			if bs.skipGrp != nil && bs.skipGrp.Get(b) {
+				bs.skipVirtual(b, batch)
+				continue
+			}
+		} else if bs.skipAll != nil && bs.skipAll.Get(b) {
+			bs.skipVirtual(b, batch)
+			continue
 		}
 		bs.readBlock(b, batch)
 	}
@@ -369,6 +444,10 @@ readLoop:
 				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
 				continue
 			}
+			if bs.skipGrp != nil && bs.skipGrp.Get(b) {
+				bs.skipVirtual(b, batch)
+				continue
+			}
 			bs.readBlock(b, batch)
 		}
 	}
@@ -380,11 +459,59 @@ readLoop:
 	return stopErr
 }
 
+// initFastPath captures direct code slices for the single-Z/single-X
+// query shape so readBlock bypasses per-row interface dispatch. The
+// record sequence is unchanged — same calls, same order — so batches,
+// deficits, and published active sets are byte-identical to the
+// generic path.
+func (bs *blockSampler) initFastPath() {
+	if bs.filter != nil || bs.multi != nil {
+		return
+	}
+	cc, ok := bs.cand.(*columnCandidates)
+	if !ok {
+		return
+	}
+	sg, ok := bs.grp.(singleGroups)
+	if !ok {
+		return
+	}
+	bs.fastOK = true
+	bs.fastZ = cc.codes
+	bs.fastX = sg.codes
+	bs.fastRemap = cc.remap
+}
+
 // readBlock consumes block b: every row is drawn, candidate and group
 // mapped, and the batch and deficit updated. Caller ensures b is
 // unconsumed.
 func (bs *blockSampler) readBlock(b int, batch *core.Batch) {
 	lo, hi := bs.src.BlockSpan(b)
+	if bs.fastOK {
+		// Devirtualized kernel: single categorical group (groupOf is the
+		// X code, never negative) and column candidates (candidateOf is
+		// the Z code, remapped when a known-candidate domain is set,
+		// always ≥ 0 by construction — unassigned values map to the
+		// dummy). Drawn is bulk-charged up front; within a block nothing
+		// reads it.
+		batch.Drawn += int64(hi - lo)
+		if bs.fastRemap == nil {
+			for row := lo; row < hi; row++ {
+				bs.record(int(bs.fastZ[row]), int(bs.fastX[row]), batch)
+			}
+		} else {
+			for row := lo; row < hi; row++ {
+				bs.record(bs.fastRemap[bs.fastZ[row]], int(bs.fastX[row]), batch)
+			}
+		}
+		atomic.AddInt64(&bs.stats.TuplesRead, int64(hi-lo))
+		atomic.AddInt64(&bs.stats.KernelBlocks, 1)
+		bs.guard.addRows(int64(hi - lo))
+		bs.consumed.Set(b)
+		bs.consCnt++
+		atomic.AddInt64(&bs.stats.BlocksRead, 1)
+		return
+	}
 	var multiBuf []int
 	for row := lo; row < hi; row++ {
 		batch.Drawn++

@@ -6,7 +6,6 @@ import (
 
 	"fastmatch/internal/bitmap"
 	"fastmatch/internal/colstore"
-	"fastmatch/internal/core"
 	"fastmatch/internal/histogram"
 )
 
@@ -34,6 +33,17 @@ type scanExec struct {
 	// scans: parallel workers race, so their interleaving (and thus any
 	// frame sequence) would be nondeterministic.
 	emit func(io IOStats)
+	// skip, when non-nil, marks blocks whose statistics prove no
+	// qualifying row; scanRange consumes them virtually (rows charged to
+	// guards and totals, nothing read). blockSize/rows are cached so the
+	// virtual path never calls BlockSpan — a simulated-latency backend
+	// must not sleep for a block the scan skips.
+	skip      *bitmap.Bitset
+	blockSize int
+	rows      int
+	// kernels enables the vectorized per-block accumulators; scanRange
+	// falls back to the scalar row loop for shapes no kernel covers.
+	kernels bool
 }
 
 // scanProgressInterval is how many blocks a sequential scan reads between
@@ -53,12 +63,14 @@ func (p *Plan) newScanExec(workers int) *scanExec {
 		workers = 1
 	}
 	return &scanExec{
-		src:     p.engine.src,
-		cand:    p.cand,
-		multi:   p.multi,
-		grp:     p.grp,
-		filter:  p.query.Filter,
-		workers: workers,
+		src:       p.engine.src,
+		cand:      p.cand,
+		multi:     p.multi,
+		grp:       p.grp,
+		filter:    p.query.Filter,
+		workers:   workers,
+		blockSize: p.engine.src.BlockSize(),
+		rows:      p.engine.src.NumRows(),
 	}
 }
 
@@ -88,21 +100,63 @@ func (s *scanExec) partition() [][2]int {
 // scanRange sweeps blocks [loBlock, hiBlock), restricted to `only` when
 // non-nil, recording every row whose candidate passes keep (keep < 0 keeps
 // all candidates).
+//
+// Stats-pruned blocks (s.skip) are consumed virtually: their rows are
+// charged to the guard and to part.rows — so budget decisions, σ
+// selectivities, and partial results are byte-identical to a pruning-off
+// sweep — but the block is never read and TuplesRead stays untouched.
+// Progress emission paces on BlocksRead+BlocksPruned so frame positions
+// and counts match the pruning-off sweep exactly.
 func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int) *scanPartial {
 	part := &scanPartial{hists: make([]*histogram.Histogram, s.cand.numCandidates())}
 	groups := s.grp.groups() // hoisted out of the per-row loop
+	var kern *scanKernel
+	if s.kernels && only == nil && keep < 0 {
+		kern = s.newKernel() // per-worker accumulator, folded on return
+	}
+	finish := func() *scanPartial {
+		if kern != nil {
+			kern.fold(part, groups)
+		}
+		return part
+	}
 	var multiBuf []int
 	for b := loBlock; b < hiBlock; b++ {
 		if err := s.guard.stop(); err != nil {
 			part.err = err
-			return part
+			return finish()
 		}
 		if only != nil && !only.Get(b) {
+			continue
+		}
+		if s.skip != nil && s.skip.Get(b) {
+			lo := b * s.blockSize
+			hi := lo + s.blockSize
+			if hi > s.rows {
+				hi = s.rows
+			}
+			part.io.BlocksSkipped++
+			part.io.BlocksPruned++
+			part.rows += int64(hi - lo)
+			s.guard.addRows(int64(hi - lo))
+			if s.emit != nil && (part.io.BlocksRead+part.io.BlocksPruned)%scanProgressInterval == 0 {
+				s.emit(part.io)
+			}
 			continue
 		}
 		lo, hi := s.src.BlockSpan(b)
 		part.io.BlocksRead++
 		s.guard.addRows(int64(hi - lo))
+		if kern != nil {
+			kern.block(lo, hi)
+			part.io.TuplesRead += int64(hi - lo)
+			part.rows += int64(hi - lo)
+			part.io.KernelBlocks++
+			if s.emit != nil && (part.io.BlocksRead+part.io.BlocksPruned)%scanProgressInterval == 0 {
+				s.emit(part.io)
+			}
+			continue
+		}
 		for row := lo; row < hi; row++ {
 			part.io.TuplesRead++
 			part.rows++
@@ -133,11 +187,11 @@ func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int
 			}
 			part.add(id, g, groups)
 		}
-		if s.emit != nil && part.io.BlocksRead%scanProgressInterval == 0 {
+		if s.emit != nil && (part.io.BlocksRead+part.io.BlocksPruned)%scanProgressInterval == 0 {
 			s.emit(part.io)
 		}
 	}
-	return part
+	return finish()
 }
 
 func (p *scanPartial) add(id, g, groups int) {
@@ -208,12 +262,17 @@ func (s *scanExec) candidateHistogram(id int) (*histogram.Histogram, error) {
 // (guard fired) instead returns a best-effort Result — Partial set, no σ
 // pruning (selectivities from a truncated pass are biased), candidates
 // ranked by their partial histograms — alongside the termination error.
-func (p *Plan) runScan(target *histogram.Histogram, params core.Params, workers int, guard *runGuard, emit func(io IOStats)) (*Result, error) {
+func (p *Plan) runScan(target *histogram.Histogram, opts Options, workers int, guard *runGuard, emit func(io IOStats)) (*Result, error) {
+	params := opts.Params
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	ex := p.newScanExec(workers)
 	ex.guard = guard
+	if !opts.DisableBlockSkip {
+		ex.skip = p.skipAll
+	}
+	ex.kernels = !opts.DisableScanKernels
 	if ex.workers == 1 {
 		ex.emit = emit
 	}

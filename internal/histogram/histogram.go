@@ -79,6 +79,16 @@ func (h *Histogram) Add(j int) {
 	h.total++
 }
 
+// AddN increments group j by n, the bulk form of Add used when a scan
+// kernel folds a whole block's per-group counts in one call. n is a
+// non-negative integer-valued count; sums of such counts stay exactly
+// representable (and therefore bit-identical to n repeated Adds) up to
+// 2^53.
+func (h *Histogram) AddN(j int, n float64) {
+	h.counts[j] += n
+	h.total += n
+}
+
 // AddWeighted increments group j by w (used for measure-biased SUM
 // estimation; see Appendix A.1.1). Negative or non-finite weights are
 // rejected.

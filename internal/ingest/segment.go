@@ -130,6 +130,18 @@ func newSegment(firstRow int, r colstore.Reader, file string, closer io.Closer) 
 	return s, nil
 }
 
+// blockStats surfaces the segment reader's own per-block statistics
+// when its backend carries them (heap tables and mapped snapshots both
+// do), giving view-level skipping block granularity inside sealed
+// segments. Returns nil when the backend has none; callers then fall
+// back to the segment-granular zone maps.
+func (s *segment) blockStats() colstore.BlockStats {
+	if br, ok := s.reader.(colstore.BlockStatsReader); ok {
+		return br.BlockStats()
+	}
+	return nil
+}
+
 // pin takes a reference; callers must hold an existing reference (the
 // table's mutex guarantees that for the canonical list).
 func (s *segment) pin() { s.pins.Add(1) }

@@ -39,8 +39,9 @@ type TableView struct {
 
 // Compile-time conformance: the engine consumes views through these.
 var (
-	_ colstore.Reader      = (*TableView)(nil)
-	_ bitmap.IndexedReader = (*TableView)(nil)
+	_ colstore.Reader           = (*TableView)(nil)
+	_ bitmap.IndexedReader      = (*TableView)(nil)
+	_ colstore.BlockStatsReader = (*TableView)(nil)
 )
 
 // newView pins the segments and wraps the spine prefix; callers (the
@@ -130,6 +131,88 @@ func (v *TableView) Storage() colstore.StorageStats {
 
 // Segments reports the view's pinned segment count (diagnostics).
 func (v *TableView) Segments() int { return len(v.segs) }
+
+// BlockStats implements colstore.BlockStatsReader by adapting the
+// pinned segments' summaries. Sealed blocks answer from the segment's
+// own backend statistics when available (block-granular, since segment
+// readers are themselves stats-carrying tables), falling back to the
+// seal-time zone maps (segment-granular: every block of a segment
+// reports the whole segment's presence/range — coarser but still
+// sound). Unsealed tail blocks are unknown and never prune.
+func (v *TableView) BlockStats() colstore.BlockStats { return viewBlockStats{v: v} }
+
+// viewBlockStats routes per-block statistics questions to the segment
+// owning the block. Segments are block-aligned (rows are sealed in
+// block-size multiples), so a table block lies entirely inside one
+// segment or entirely in the tail.
+type viewBlockStats struct{ v *TableView }
+
+// segmentFor returns the pinned segment covering table block b and the
+// block's segment-local index, or nil for tail/out-of-range blocks.
+func (vs viewBlockStats) segmentFor(b int) (*segment, int) {
+	segs := vs.v.segs
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if segs[mid].blockOff+segs[mid].blocks <= b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(segs) && b >= segs[lo].blockOff {
+		return segs[lo], b - segs[lo].blockOff
+	}
+	return nil, 0
+}
+
+// MayContainCode implements colstore.BlockStats. Segment dictionaries
+// are seal-time prefixes of the spine dictionary (snapshots preserve
+// code order), so table codes are valid segment codes; a code past a
+// segment's dictionary was interned after sealing and is provably
+// absent there.
+func (vs viewBlockStats) MayContainCode(column string, code uint32, b int) bool {
+	s, local := vs.segmentFor(b)
+	if s == nil {
+		return true
+	}
+	if st := s.blockStats(); st != nil {
+		return st.MayContainCode(column, code, local)
+	}
+	p := s.zone.presence[column]
+	if p == nil {
+		return true
+	}
+	if int(code) >= p.Len() {
+		return false
+	}
+	return p.Get(int(code))
+}
+
+// MeasureRange implements colstore.BlockStats.
+func (vs viewBlockStats) MeasureRange(measure string, b int) (lo, hi float64, ok bool) {
+	s, local := vs.segmentFor(b)
+	if s == nil {
+		return 0, 0, false
+	}
+	if st := s.blockStats(); st != nil {
+		if lo, hi, ok = st.MeasureRange(measure, local); ok {
+			return lo, hi, ok
+		}
+	}
+	mlo, ok1 := s.zone.min[measure]
+	mhi, ok2 := s.zone.max[measure]
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	return mlo, mhi, true
+}
+
+// PresenceWords implements colstore.BlockStats: the stitched view has
+// no single exact value-major bitset (tail blocks are unknown), and an
+// inexact one must never feed index construction, so this always
+// declines.
+func (vs viewBlockStats) PresenceWords(string) ([]uint64, int, bool) { return nil, 0, false }
 
 // BlockIndex implements bitmap.IndexedReader: stitch the sealed
 // segments' cached indexes, then scan only the unsealed tail blocks.

@@ -182,7 +182,7 @@ func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQ
 		return nil
 	}
 
-	if pq.q, err = pq.req.Query.toQuery(); err != nil {
+	if pq.q, err = pq.req.Query.toQuery(eng); err != nil {
 		return bail(http.StatusUnprocessableEntity, "invalid query: %v", err)
 	}
 	pq.opts = engine.DefaultOptions(eng.Source().NumRows())

@@ -97,7 +97,8 @@ func getStats(t testing.TB, url string) StatsResponse {
 // exact result bytes the server must produce for req.
 func directPayload(t testing.TB, tbl *colstore.Table, req QueryRequest) []byte {
 	t.Helper()
-	q, err := req.Query.toQuery()
+	eng := engine.New(tbl)
+	q, err := req.Query.toQuery(eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func directPayload(t testing.TB, tbl *colstore.Table, req QueryRequest) []byte {
 	if err := req.Options.apply(&opts); err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.New(tbl).Run(q, req.Target.toTarget(), opts)
+	res, err := eng.Run(q, req.Target.toTarget(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 
+	"fastmatch/internal/bitmap"
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/histogram"
@@ -27,18 +28,35 @@ type QueryRequest struct {
 	Options *OptionsSpec `json:"options,omitempty"`
 }
 
-// QuerySpec mirrors engine.Query for JSON transport. Filter closures and
-// predicate candidates have no JSON form and are intentionally absent.
+// QuerySpec mirrors engine.Query for JSON transport. Filter closures have
+// no JSON form and are intentionally absent; predicate candidates travel
+// as CandidatePreds trees compiled against the table's dictionaries.
 type QuerySpec struct {
-	// Z names the candidate attribute.
+	// Z names the candidate attribute. Ignored when CandidatePreds is set.
 	Z string `json:"z"`
 	// KnownCandidates restricts the candidate domain (Appendix A.1.5).
 	KnownCandidates []string `json:"known_candidates,omitempty"`
+	// CandidatePreds defines candidates as boolean predicates over
+	// attribute values (Appendix A.1.2), one candidate per entry.
+	CandidatePreds []PredSpec `json:"candidate_preds,omitempty"`
 	// X names the grouping attribute(s).
 	X []string `json:"x,omitempty"`
 	// XMeasure with XBins groups by binning a continuous measure.
 	XMeasure string    `json:"x_measure,omitempty"`
 	XBins    *BinsSpec `json:"x_bins,omitempty"`
+}
+
+// PredSpec is the wire form of one predicate node: either a leaf
+// equality {column, value} or a boolean combination {all} / {any} of
+// child predicates. Exactly one of the three forms must be used.
+type PredSpec struct {
+	// Column/Value is the leaf form: Column == Value.
+	Column string `json:"column,omitempty"`
+	Value  string `json:"value,omitempty"`
+	// All is a conjunction of child predicates.
+	All []PredSpec `json:"all,omitempty"`
+	// Any is a disjunction of child predicates.
+	Any []PredSpec `json:"any,omitempty"`
 }
 
 // BinsSpec describes histogram bins: either N uniform bins over [Lo, Hi]
@@ -80,6 +98,12 @@ type OptionsSpec struct {
 	// RowBudget caps the tuples the run may read; exhausting it returns
 	// a best-effort partial result (Partial set in the payload).
 	RowBudget *int64 `json:"row_budget,omitempty"`
+	// DisableBlockSkip / DisableScanKernels turn off zone-map block
+	// pruning and the vectorized grouped-count kernels for this request
+	// (measurement knobs — results are byte-identical either way, only
+	// the io counters change).
+	DisableBlockSkip   bool `json:"disable_block_skip,omitempty"`
+	DisableScanKernels bool `json:"disable_scan_kernels,omitempty"`
 }
 
 // ResultPayload is the JSON form of engine.Result, minus wall-clock
@@ -155,8 +179,11 @@ func toPayload(res *engine.Result) ResultPayload {
 	return out
 }
 
-// toQuery compiles the wire query into an engine query.
-func (qs QuerySpec) toQuery() (engine.Query, error) {
+// toQuery compiles the wire query into an engine query. The engine is
+// needed to compile predicate candidates: predicate leaves resolve values
+// to dictionary codes and bind the column's density map (which prices
+// block-level estimates) against the serving table.
+func (qs QuerySpec) toQuery(eng *engine.Engine) (engine.Query, error) {
 	q := engine.Query{
 		Z:               qs.Z,
 		KnownCandidates: qs.KnownCandidates,
@@ -170,7 +197,76 @@ func (qs QuerySpec) toQuery() (engine.Query, error) {
 		}
 		q.XBins = binner
 	}
+	if len(qs.CandidatePreds) > 0 {
+		q.CandidatePreds = make([]bitmap.Predicate, len(qs.CandidatePreds))
+		for i, ps := range qs.CandidatePreds {
+			p, err := ps.toPredicate(eng)
+			if err != nil {
+				return engine.Query{}, fmt.Errorf("candidate_preds[%d]: %w", i, err)
+			}
+			q.CandidatePreds[i] = p
+		}
+	}
 	return q, nil
+}
+
+// toPredicate compiles one wire predicate node against the table.
+func (ps PredSpec) toPredicate(eng *engine.Engine) (bitmap.Predicate, error) {
+	forms := 0
+	if ps.Column != "" || ps.Value != "" {
+		forms++
+	}
+	if len(ps.All) > 0 {
+		forms++
+	}
+	if len(ps.Any) > 0 {
+		forms++
+	}
+	if forms != 1 {
+		return nil, fmt.Errorf("predicate needs exactly one of column/value, all, or any")
+	}
+	switch {
+	case len(ps.All) > 0:
+		children, err := toPredicates(eng, ps.All)
+		if err != nil {
+			return nil, err
+		}
+		return &bitmap.AndPred{Children: children}, nil
+	case len(ps.Any) > 0:
+		children, err := toPredicates(eng, ps.Any)
+		if err != nil {
+			return nil, err
+		}
+		return &bitmap.OrPred{Children: children}, nil
+	}
+	if ps.Column == "" || ps.Value == "" {
+		return nil, fmt.Errorf("leaf predicate needs both column and value")
+	}
+	col, err := eng.Source().ColumnByName(ps.Column)
+	if err != nil {
+		return nil, err
+	}
+	code, ok := col.Dictionary().Code(ps.Value)
+	if !ok {
+		return nil, fmt.Errorf("column %q has no value %q", ps.Column, ps.Value)
+	}
+	dm, err := eng.Density(ps.Column)
+	if err != nil {
+		return nil, err
+	}
+	return &bitmap.ValuePred{Column: ps.Column, Code: code, DM: dm}, nil
+}
+
+func toPredicates(eng *engine.Engine, specs []PredSpec) ([]bitmap.Predicate, error) {
+	out := make([]bitmap.Predicate, len(specs))
+	for i, ps := range specs {
+		p, err := ps.toPredicate(eng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
 }
 
 // toBinner compiles a bins spec.
@@ -240,6 +336,12 @@ func (os *OptionsSpec) apply(opts *engine.Options) error {
 	}
 	if os.RowBudget != nil {
 		opts.RowBudget = *os.RowBudget
+	}
+	if os.DisableBlockSkip {
+		opts.DisableBlockSkip = true
+	}
+	if os.DisableScanKernels {
+		opts.DisableScanKernels = true
 	}
 	return nil
 }

@@ -81,6 +81,18 @@ echo "$TABLES" | grep -q '"backend":"inmem"' || { echo "inmem backend not report
 STATS="$(curl -fsS "$BASE/v1/stats")"
 echo "$STATS" | grep -Eq '"backend":"mmap(-fallback)?"' || { echo "stats missing mmap backend: $STATS" >&2; exit 1; }
 
+echo "== predicate-carrying query skips blocks via zone-map stats, visible in IOStats and /v1/stats"
+LABEL="$(printf '%s' "$R1" | grep -o '"label":"[^"]*"' | head -1 | cut -d'"' -f4)"
+PQUERY="{\"table\":\"flights\",\"query\":{\"candidate_preds\":[{\"column\":\"Origin\",\"value\":\"$LABEL\"}],\"x\":[\"DepartureHour\"]},\"target\":{\"uniform\":true},\"options\":{\"k\":1,\"executor\":\"scan\",\"seed\":7}}"
+R4="$(curl -fsS -X POST "$BASE/v1/query" -d "$PQUERY")"
+echo "$R4" | grep -q '"label":"Origin='             || { echo "predicate candidate missing from: $R4" >&2; exit 1; }
+echo "$R4" | grep -Eq '"blocks_skipped":[1-9]'       || { echo "predicate query skipped no blocks: $R4" >&2; exit 1; }
+echo "$R4" | grep -Eq '"blocks_pruned":[1-9]'        || { echo "predicate query pruned no blocks: $R4" >&2; exit 1; }
+echo "$R4" | grep -Eq '"kernel_blocks":[1-9]'        || { echo "predicate query took no kernel blocks: $R4" >&2; exit 1; }
+FSTATS="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flights"://')"
+printf '%s' "$FSTATS" | grep -Eq '"blocks_pruned":[1-9]' || { echo "/v1/stats missing pruned blocks: $FSTATS" >&2; exit 1; }
+printf '%s' "$FSTATS" | grep -Eq '"kernel_blocks":[1-9]' || { echo "/v1/stats missing kernel blocks: $FSTATS" >&2; exit 1; }
+
 echo "== /v1/query/stream: progress frames precede a result byte-identical to the blocking answer"
 SQUERY='{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scanmatch","epsilon":0.1,"seed":21}}'
 STREAM="$(curl -fsS -N -X POST "$BASE/v1/query/stream" -d "$SQUERY")"
@@ -113,9 +125,9 @@ for i in $(seq 1 50); do
   sleep 0.1
 done
 [ -n "$CANCELED" ] || { echo "canceled counter never ticked: $SLOWSTATS" >&2; exit 1; }
-IO1="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flightsslow"://' | grep -o '"TuplesRead":[0-9]*' | head -1)"
+IO1="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flightsslow"://' | grep -o '"tuples_read":[0-9]*' | head -1)"
 sleep 0.6
-IO2="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flightsslow"://' | grep -o '"TuplesRead":[0-9]*' | head -1)"
+IO2="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flightsslow"://' | grep -o '"tuples_read":[0-9]*' | head -1)"
 [ "$IO1" = "$IO2" ] || { echo "IOStats still growing after client kill: $IO1 -> $IO2" >&2; exit 1; }
 
 echo "== malformed requests are rejected cleanly"
@@ -147,7 +159,7 @@ LIVEQ='{"table":"live","query":{"z":"Origin","x":["DepartureHour"]},"target":{"u
 curl -fsS -X POST "$BASE/v1/tables/live/rows" -H 'Content-Type: text/csv' \
   --data-binary $'Origin,Dest,DepartureHour,DayOfWeek,DayOfMonth,DepDelayBin,ArrDelayBin\nOrigin_1,Dest_2,DepartureHour_3,DayOfWeek_4,DayOfMonth_5,DepDelayBin_6,ArrDelayBin_7\n' >/dev/null
 R5="$(curl -fsS -X POST "$BASE/v1/query" -d "$LIVEQ")"
-echo "$R5" | grep -q '"TuplesRead":20001' || { echo "live scan did not see appended row: $R5" >&2; exit 1; }
+echo "$R5" | grep -q '"tuples_read":20001' || { echo "live scan did not see appended row: $R5" >&2; exit 1; }
 R6="$(curl -fsS -X POST "$BASE/v1/query" -d "$LIVEQ")"
 echo "$R6" | grep -q '"cached":true' || { echo "same-generation repeat not cached: $R6" >&2; exit 1; }
 
@@ -158,7 +170,7 @@ start_live
 TABLES="$(curl -fsS "$BASE/v1/tables")"
 echo "$TABLES" | grep -q '"rows":20001' || { echo "post-replay row count wrong: $TABLES" >&2; exit 1; }
 R7="$(curl -fsS -X POST "$BASE/v1/query" -d "$LIVEQ")"
-echo "$R7" | grep -q '"TuplesRead":20001' || { echo "post-replay scan wrong: $R7" >&2; exit 1; }
+echo "$R7" | grep -q '"tuples_read":20001' || { echo "post-replay scan wrong: $R7" >&2; exit 1; }
 
 echo "== admin unload drops the table; unknown unload is 404"
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/admin/unload" -d '{"name":"nosuch"}')"
