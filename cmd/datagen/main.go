@@ -32,10 +32,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -43,6 +45,7 @@ import (
 
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/datagen"
+	"fastmatch/internal/obs/logx"
 )
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 	stream := flag.String("stream", "", "POST rows to this fastmatchd append endpoint (e.g. http://host:8080/v1/tables/NAME/rows)")
 	streamRate := flag.Int("stream-rate", 0, "rows per second for -stream (0 = unthrottled)")
 	streamBatch := flag.Int("stream-batch", 1000, "rows per -stream request")
+	logFormat := flag.String("log-format", "text", "structured -stream progress log format: text or json")
 	flag.Parse()
 
 	ds, err := datagen.ByName(*dataset, *rows, *seed, 0)
@@ -81,7 +85,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snapshot (v%d) written to %s\n", *snapshotFormat, *snapshot)
 	}
 	if *stream != "" {
-		if err := streamRows(ds.Table, *stream, *streamRate, *streamBatch); err != nil {
+		logger, err := logx.New(os.Stderr, *logFormat, slog.LevelInfo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := streamRows(ds.Table, *stream, *streamRate, *streamBatch, logger); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -112,8 +120,10 @@ func main() {
 }
 
 // streamRows POSTs the table's rows to a fastmatchd append endpoint as
-// batched text/csv requests, pacing batches to rate rows per second.
-func streamRows(tbl *colstore.Table, url string, rate, batch int) error {
+// batched text/csv requests, pacing batches to rate rows per second,
+// logging structured progress (rows sent, achieved rate, server acks)
+// about once a second.
+func streamRows(tbl *colstore.Table, url string, rate, batch int, logger *slog.Logger) error {
 	if batch <= 0 {
 		batch = 1000
 	}
@@ -144,8 +154,9 @@ func streamRows(tbl *colstore.Table, url string, rate, batch int) error {
 	}
 	began := time.Now()
 	next := began
+	lastLog := began
 	var body bytes.Buffer
-	sent := 0
+	sent, acks := 0, 0
 	total := tbl.NumRows()
 	for lo := 0; lo < total; lo += batch {
 		hi := lo + batch
@@ -187,12 +198,40 @@ func streamRows(tbl *colstore.Table, url string, rate, batch int) error {
 			resp.Body.Close()
 			return fmt.Errorf("streaming rows %d-%d: %s: %s", lo, hi, resp.Status, msg)
 		}
+		// The daemon acks each batch with its post-append state; decode it
+		// so progress logs report what the server made durable, not just
+		// what was sent.
+		var ack struct {
+			TotalRows  int    `json:"total_rows"`
+			Generation uint64 `json:"generation"`
+			Synced     bool   `json:"synced"`
+		}
+		ackOK := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ack) == nil
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		sent = hi
+		acks++
+		if now := time.Now(); now.Sub(lastLog) >= time.Second || sent == total {
+			attrs := []any{
+				"rows_sent", sent,
+				"total", total,
+				"acks", acks,
+				"rows_per_sec", int(float64(sent) / now.Sub(began).Seconds()),
+			}
+			if ackOK {
+				attrs = append(attrs,
+					"server_rows", ack.TotalRows,
+					"generation", ack.Generation,
+					"synced", ack.Synced,
+				)
+			}
+			logger.Info("stream progress", attrs...)
+			lastLog = now
+		}
 	}
 	elapsed := time.Since(began).Seconds()
-	fmt.Fprintf(os.Stderr, "streamed %d rows to %s in %.1fs (%.0f rows/s)\n",
-		sent, url, elapsed, float64(sent)/elapsed)
+	logger.Info("stream done",
+		"rows", sent, "acks", acks, "target", url,
+		"elapsed_s", elapsed, "rows_per_sec", int(float64(sent)/elapsed))
 	return nil
 }

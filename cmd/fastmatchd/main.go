@@ -51,7 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
@@ -61,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"fastmatch/internal/obs/logx"
 	"fastmatch/internal/server"
 )
 
@@ -70,9 +71,13 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Second, "how long over-capacity requests wait before 503 (negative = reject immediately)")
 	planCache := flag.Int("plan-cache", 256, "plan cache entries (negative disables)")
 	resultCache := flag.Int("result-cache", 1024, "result cache entries (negative disables)")
-	admin := flag.Bool("admin", false, "expose POST /v1/admin/load (trusted networks only)")
+	admin := flag.Bool("admin", false, "expose POST /v1/admin/load and /debug/pprof (trusted networks only)")
 	shuffleSeed := flag.Int64("shuffle-seed", 1, "row shuffle seed for CSV tables (negative = keep file order; snapshots always keep their layout)")
 	queryTimeout := flag.Duration("query-timeout", 0, "default per-request query timeout; past it the response carries the best-effort partial result (0 = none, per-table timeout= overrides)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	slowQueryMS := flag.Int64("slow-query-ms", 0, "slow-query threshold in milliseconds; requests at or past it log their full span tree at warn level (0 = off)")
+	traceRing := flag.Int("trace-ring", 32, "slowest recent traces kept for GET /v1/debug/traces (negative disables)")
 
 	var tables []server.TableSpec
 	flag.Func("table", "dataset to serve, as name=path, name=path?backend=mmap, or name=dir?backend=ingest&columns=a,b (repeatable)", func(v string) error {
@@ -146,6 +151,17 @@ func main() {
 	})
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "fastmatchd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger, err := logx.New(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastmatchd: %v\n", err)
+		os.Exit(2)
+	}
+
 	if len(tables) == 0 {
 		fmt.Fprintln(os.Stderr, "fastmatchd: no tables; pass at least one -table name=path")
 		flag.Usage()
@@ -159,19 +175,24 @@ func main() {
 		ResultCacheSize: *resultCache,
 		EnableAdmin:     *admin,
 		QueryTimeout:    *queryTimeout,
+		Logger:          logger,
+		SlowQuery:       time.Duration(*slowQueryMS) * time.Millisecond,
+		TraceRingSize:   *traceRing,
 	})
 	for _, spec := range tables {
 		spec.Measures = measures[spec.Name]
 		spec.ShuffleSeed = shuffleSeed
 		began := time.Now()
 		if err := srv.LoadTable(spec); err != nil {
-			log.Fatal(err)
+			logger.Error("loading table failed", "table", spec.Name, "error", err)
+			os.Exit(1)
 		}
 		for _, info := range srv.Tables() {
 			if info.Name == spec.Name {
-				log.Printf("loaded table %q: %d rows, %d blocks, backend %s (%s) in %v",
-					info.Name, info.Rows, info.Blocks, info.Storage.Backend, spec.Path,
-					time.Since(began).Round(time.Millisecond))
+				logger.Info("table loaded",
+					"table", info.Name, "rows", info.Rows, "blocks", info.Blocks,
+					"backend", info.Storage.Backend, "path", spec.Path,
+					"elapsed", time.Since(began).Round(time.Millisecond).String())
 			}
 		}
 	}
@@ -183,19 +204,20 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("fastmatchd serving %d table(s) on %s", len(tables), *listen)
+	logger.Info("serving", "tables", len(tables), "listen", *listen)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("received %v, draining", sig)
+		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown", "error", err)
 		}
 	}
 }

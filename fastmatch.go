@@ -62,6 +62,7 @@ import (
 	"fastmatch/internal/engine"
 	"fastmatch/internal/histogram"
 	"fastmatch/internal/ingest"
+	"fastmatch/internal/obs/trace"
 	"fastmatch/internal/server"
 )
 
@@ -131,6 +132,17 @@ type (
 	Histogram = histogram.Histogram
 	// Metric is the distance function over normalized histograms.
 	Metric = histogram.Metric
+	// ExplainInfo is a Plan's static execution profile (resolved shapes,
+	// zone-map prunable block counts, fast-path eligibility) — see
+	// Plan.Explain.
+	ExplainInfo = engine.ExplainInfo
+	// Trace collects a per-query span tree when set on Options.Trace;
+	// create with NewTrace and render with Trace.Snapshot.
+	Trace = trace.Trace
+	// TraceSnapshot is a trace's JSON-friendly rendering.
+	TraceSnapshot = trace.Snapshot
+	// TraceSpan is one span in a TraceSnapshot.
+	TraceSpan = trace.SpanSnapshot
 )
 
 // Executor variants, in increasing sophistication (§5.2 of the paper).
@@ -229,6 +241,12 @@ func OpenIngestTable(dir string, schema IngestSchema, opts IngestOptions) (*Writ
 // NewServer creates a query server; register tables with
 // Server.LoadTable or Server.RegisterTable and expose Server.Handler.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewTrace creates an empty query trace identified by id; set it on
+// Options.Trace to collect a span tree (plan, run phases, per-span I/O
+// deltas) for the run, then render it with Trace.Snapshot. Tracing is
+// purely observational: results are byte-identical with or without it.
+func NewTrace(id string) *Trace { return trace.New(id) }
 
 // WriteSnapshot serializes a table as a versioned binary snapshot that
 // loads without CSV re-parsing and preserves the block layout exactly

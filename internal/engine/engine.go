@@ -10,6 +10,7 @@ import (
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/core"
 	"fastmatch/internal/histogram"
+	"fastmatch/internal/obs/trace"
 )
 
 // Query is a histogram-generating query template (Definition 1): candidate
@@ -115,6 +116,19 @@ type Options struct {
 	// are byte-identical either way (IOStats.KernelBlocks is the only
 	// delta); the knob exists for benchmarking the kernels' contribution.
 	DisableScanKernels bool
+	// Trace, when non-nil, collects a per-run span tree: a "run" root
+	// span with one child per execution phase (stage 1, every stage-2
+	// round, stage 3 for the sampling executors; one span per worker for
+	// the exact scans), each carrying the IOStats delta attributed to
+	// that phase, plus a "resolve_target" span on the RunContext path.
+	// Spans are recorded from the hooks OnProgress already uses, at the
+	// same discipline: a nil Trace adds no work to the run (no
+	// allocations, no branches on the per-row paths), and tracing never
+	// affects the result. Trace is excluded from Options.Fingerprint —
+	// like OnProgress it is observational — and traced responses must
+	// not be served from result caches keyed by fingerprint (the serving
+	// layer bypasses its result-cache read for traced requests).
+	Trace *trace.Trace
 }
 
 // Result is a complete query answer.
@@ -264,7 +278,12 @@ func (p *Plan) RunContext(ctx context.Context, t Target, opts Options) (*Result,
 	if err := guard.stop(); err != nil {
 		return nil, err
 	}
+	// The resolve_target span carries no IO: target resolution is outside
+	// the run's IOStats by contract (Result.Duration excludes it too), so
+	// attributing its I/O here would break the per-span-sum invariant.
+	rsp := opts.Trace.Start("resolve_target")
 	target, err := p.resolveTarget(t, opts.Workers, guard)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -293,6 +312,9 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 		return nil, fmt.Errorf("engine: target has %d groups, query produces %d", target.Groups(), p.grp.groups())
 	}
 	began := time.Now()
+	runSpan := opts.Trace.StartAt("run", began)
+	runSpan.SetAttr("executor", opts.Executor.String())
+	defer runSpan.End()
 	if opts.Executor == Scan || opts.Executor == ParallelScan {
 		workers := 1
 		if opts.Executor == ParallelScan {
@@ -304,7 +326,7 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 				opts.OnProgress(Progress{Phase: "scan", IO: io, Elapsed: time.Since(began)})
 			}
 		}
-		res, err := p.runScan(target, opts, workers, guard, emit)
+		res, err := p.runScan(target, opts, workers, guard, emit, runSpan)
 		if res == nil {
 			return nil, err
 		}
@@ -329,9 +351,36 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 	if !opts.DisableScanKernels {
 		bs.initFastPath()
 	}
+	// The sampling executors are traced from the same observer hook
+	// OnProgress uses (after stage 1, after every stage-2 round, after
+	// stage 3): each emission cuts a phase span carrying the IOStats
+	// delta since the previous one. Tracing therefore forces an observer
+	// on even when OnProgress is nil — the cost sits on the per-round
+	// path, never the per-row path, and results are unchanged (the same
+	// guarantee OnProgress pins in its perturbation test).
+	traced := opts.Trace != nil
 	var obs core.Observer
-	if opts.OnProgress != nil {
+	if opts.OnProgress != nil || traced {
+		phaseStart := began
+		var phaseIO IOStats
 		obs = func(s core.Snapshot) {
+			if traced {
+				now := time.Now()
+				cur := bs.Stats()
+				name := s.Phase
+				if s.Phase == "stage2" {
+					name = fmt.Sprintf("stage2.round%d", s.Round)
+				}
+				sp := runSpan.ChildAt(name, phaseStart)
+				sp.SetAttr("drawn", s.Drawn)
+				sp.SetAttr("active_candidates", s.ActiveCandidates)
+				sp.SetIO(traceIO(ioDelta(cur, phaseIO)))
+				sp.EndAt(now)
+				phaseStart, phaseIO = now, cur
+			}
+			if opts.OnProgress == nil {
+				return
+			}
 			pr := Progress{
 				Phase:            s.Phase,
 				Round:            s.Round,
@@ -347,6 +396,19 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 				}
 			}
 			opts.OnProgress(pr)
+		}
+		if traced {
+			// An interrupted run salvages without a final emission, and a
+			// few I/O counters (e.g. the wrap that proves exhaustion) land
+			// after the last one: fold the residual into a closing span so
+			// the tree's IO always sums to the run's total.
+			defer func() {
+				if resid := ioDelta(bs.Stats(), phaseIO); resid != (IOStats{}) {
+					sp := runSpan.ChildAt("tail", phaseStart)
+					sp.SetIO(traceIO(resid))
+					sp.End()
+				}
+			}()
 		}
 	}
 	coreRes, err := core.RunObserved(bs, target, opts.Params, obs)
@@ -373,6 +435,32 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 		res.Pruned = append(res.Pruned, p.cand.labelOf(id))
 	}
 	return res, err
+}
+
+// ioDelta subtracts two monotone IOStats snapshots (cur - prev); phase
+// spans carry deltas so the tree sums to the run's total.
+func ioDelta(cur, prev IOStats) IOStats {
+	return IOStats{
+		BlocksRead:    cur.BlocksRead - prev.BlocksRead,
+		BlocksSkipped: cur.BlocksSkipped - prev.BlocksSkipped,
+		BlocksPruned:  cur.BlocksPruned - prev.BlocksPruned,
+		TuplesRead:    cur.TuplesRead - prev.TuplesRead,
+		KernelBlocks:  cur.KernelBlocks - prev.KernelBlocks,
+		Wraps:         cur.Wraps - prev.Wraps,
+	}
+}
+
+// traceIO converts engine I/O counters to the trace package's
+// import-cycle-free mirror struct.
+func traceIO(io IOStats) trace.IO {
+	return trace.IO{
+		BlocksRead:    io.BlocksRead,
+		BlocksSkipped: io.BlocksSkipped,
+		BlocksPruned:  io.BlocksPruned,
+		TuplesRead:    io.TuplesRead,
+		KernelBlocks:  io.KernelBlocks,
+		Wraps:         io.Wraps,
+	}
 }
 
 func groupLabels(grp groupMapper) []string {

@@ -103,9 +103,12 @@ func (t Target) Fingerprint() string {
 // option. Two runs of the same Plan and target with equal option
 // fingerprints produce identical Results: the executors are deterministic
 // given Seed (which fixes the start block when StartBlock is negative) and
-// Workers (ParallelScan partitioning). OnProgress (no effect on the
-// result) and Deadline (wall-clock dependent; Deadline-bearing runs must
-// not be cached by fingerprint) are deliberately excluded.
+// Workers (ParallelScan partitioning). OnProgress and Trace (no effect on
+// the result; purely observational) and Deadline (wall-clock dependent;
+// Deadline-bearing runs must not be cached by fingerprint) are
+// deliberately excluded — which is also why serving layers must bypass
+// their result-cache read for traced requests: the fingerprint of a
+// traced and an untraced request is identical by design.
 func (o Options) Fingerprint() string {
 	var w fpWriter
 	p := o.Params

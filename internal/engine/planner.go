@@ -6,6 +6,7 @@ import (
 	"fastmatch/internal/bitmap"
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/histogram"
+	"fastmatch/internal/obs/trace"
 )
 
 // Plan is a resolved query: the candidate and group mappers bound to the
@@ -40,15 +41,27 @@ type Plan struct {
 // Prepare resolves a query into a reusable Plan. Run, RunWithTarget, and
 // ResolveTarget are one-shot wrappers around Prepare; prepare explicitly to
 // amortize planning across repeated runs.
-func (e *Engine) Prepare(q Query) (*Plan, error) {
+func (e *Engine) Prepare(q Query) (*Plan, error) { return e.PrepareTraced(q, nil) }
+
+// PrepareTraced is Prepare recording the planning phases — group and
+// candidate resolution (including bitmap-index builds on cold columns)
+// and skip-mask construction — as spans under a "plan" root in tr. A nil
+// tr makes it identical to Prepare.
+func (e *Engine) PrepareTraced(q Query, tr *trace.Trace) (*Plan, error) {
 	if q.Measure != "" {
 		return nil, fmt.Errorf("engine: SUM queries run over a MeasureBiasedView table; build one with MeasureBiasedView and query it with COUNT semantics")
 	}
+	psp := tr.Start("plan")
+	defer psp.End()
+	sp := psp.Child("groups")
 	grp, err := e.planGroups(q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = psp.Child("candidates")
 	cand, err := e.planCandidates(q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +69,9 @@ func (e *Engine) Prepare(q Query) (*Plan, error) {
 	if pc, ok := cand.(*predicateCandidates); ok {
 		p.multi = pc
 	}
+	sp = psp.Child("skip_masks")
 	p.buildSkipMasks()
+	sp.End()
 	return p, nil
 }
 

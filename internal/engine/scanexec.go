@@ -1,12 +1,15 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"fastmatch/internal/bitmap"
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/histogram"
+	"fastmatch/internal/obs/trace"
 )
 
 // scanExec is the exact-pass executor: the full-data baseline the paper
@@ -44,6 +47,18 @@ type scanExec struct {
 	// kernels enables the vectorized per-block accumulators; scanRange
 	// falls back to the scalar row loop for shapes no kernel covers.
 	kernels bool
+	// span, when non-nil, is the traced run's parent span: the merge
+	// barrier records one child span per worker (its block range, wall
+	// time, and IOStats). Nil for untraced runs and target resolution —
+	// workers then take no timestamps and pay nothing.
+	span *trace.Span
+}
+
+// scanPartialTimes is the per-worker wall-clock pair recorded only for
+// traced runs.
+type scanPartialTimes struct {
+	began time.Time
+	ended time.Time
 }
 
 // scanProgressInterval is how many blocks a sequential scan reads between
@@ -79,7 +94,8 @@ type scanPartial struct {
 	hists []*histogram.Histogram // lazily allocated per candidate
 	io    IOStats
 	rows  int64
-	err   error // guard termination, if the worker was interrupted
+	err   error             // guard termination, if the worker was interrupted
+	times *scanPartialTimes // non-nil only for traced runs
 }
 
 // partition splits [0, NumBlocks) into s.workers contiguous ranges.
@@ -109,6 +125,9 @@ func (s *scanExec) partition() [][2]int {
 // and counts match the pruning-off sweep exactly.
 func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int) *scanPartial {
 	part := &scanPartial{hists: make([]*histogram.Histogram, s.cand.numCandidates())}
+	if s.span != nil {
+		part.times = &scanPartialTimes{began: time.Now()}
+	}
 	groups := s.grp.groups() // hoisted out of the per-row loop
 	var kern *scanKernel
 	if s.kernels && only == nil && keep < 0 {
@@ -117,6 +136,9 @@ func (s *scanExec) scanRange(loBlock, hiBlock int, only *bitmap.Bitset, keep int
 	finish := func() *scanPartial {
 		if kern != nil {
 			kern.fold(part, groups)
+		}
+		if part.times != nil {
+			part.times.ended = time.Now()
 		}
 		return part
 	}
@@ -227,11 +249,17 @@ func (s *scanExec) run(only *bitmap.Bitset, keep int) ([]*histogram.Histogram, I
 	var io IOStats
 	var rows int64
 	var stopErr error
-	for _, part := range parts {
+	for w, part := range parts {
 		io.Add(part.io)
 		rows += part.rows
 		if part.err != nil && stopErr == nil {
 			stopErr = part.err
+		}
+		if s.span != nil && part.times != nil {
+			sp := s.span.ChildAt(fmt.Sprintf("worker%d", w), part.times.began)
+			sp.SetAttr("blocks", [2]int{ranges[w][0], ranges[w][1]})
+			sp.SetIO(traceIO(part.io))
+			sp.EndAt(part.times.ended)
 		}
 		for i, h := range part.hists {
 			if h == nil {
@@ -262,13 +290,14 @@ func (s *scanExec) candidateHistogram(id int) (*histogram.Histogram, error) {
 // (guard fired) instead returns a best-effort Result — Partial set, no σ
 // pruning (selectivities from a truncated pass are biased), candidates
 // ranked by their partial histograms — alongside the termination error.
-func (p *Plan) runScan(target *histogram.Histogram, opts Options, workers int, guard *runGuard, emit func(io IOStats)) (*Result, error) {
+func (p *Plan) runScan(target *histogram.Histogram, opts Options, workers int, guard *runGuard, emit func(io IOStats), span *trace.Span) (*Result, error) {
 	params := opts.Params
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	ex := p.newScanExec(workers)
 	ex.guard = guard
+	ex.span = span
 	if !opts.DisableBlockSkip {
 		ex.skip = p.skipAll
 	}

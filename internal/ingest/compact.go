@@ -55,6 +55,7 @@ func (t *WritableTable) runCompactor() {
 			t.compactErrs++
 			t.lastCompactErr = err.Error()
 			t.mu.Unlock()
+			t.log.Warn("compaction failed", "dir", t.dir, "error", err)
 		} else {
 			t.mu.Lock()
 			t.lastCompactErr = ""
@@ -292,6 +293,10 @@ func (t *WritableTable) swapSegments(merged *segment, children []*segment) error
 	if err := writeManifest(t.dir, m); err != nil {
 		return err
 	}
+	t.log.Info("compaction cycle committed",
+		"dir", t.dir, "file", merged.file, "first_row", merged.firstRow,
+		"rows", merged.rows, "persisted_rows", t.persistedRows,
+		"compactions", t.compactions)
 	// Rotate the WAL off any file still holding covered rows, then drop
 	// fully covered files.
 	if t.wal != nil {

@@ -41,6 +41,7 @@ package ingest
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 )
 
@@ -151,6 +152,10 @@ type Options struct {
 	// open transparently falls back to heap on unsupported platforms
 	// anyway; this is for tests pinning one behavior).
 	DisableMmap bool
+	// Logger receives the table's structured lifecycle logs (WAL replay
+	// at open, segment seals, compaction cycles and their failures). Nil
+	// discards everything.
+	Logger *slog.Logger
 }
 
 // withDefaults resolves zero values against the schema's block size.

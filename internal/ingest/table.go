@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"fastmatch/internal/colstore"
+	"fastmatch/internal/obs/logx"
 )
 
 // dictState is one column's mutable interning state. The value list is
@@ -60,6 +62,7 @@ type WritableTable struct {
 	dir    string
 	schema Schema
 	opts   Options
+	log    *slog.Logger
 	gen    atomic.Uint64
 
 	mu            sync.Mutex
@@ -138,6 +141,7 @@ func Open(dir string, schema Schema, opts Options) (*WritableTable, error) {
 		dir:    dir,
 		schema: schema,
 		opts:   opts,
+		log:    logx.OrDiscard(opts.Logger),
 		nudge:  make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -192,6 +196,9 @@ func Open(dir string, schema Schema, opts Options) (*WritableTable, error) {
 	if err != nil {
 		return fail(err)
 	}
+	t.log.Info("ingest table opened",
+		"dir", dir, "rows", t.rows, "replayed_rows", t.replayedRows,
+		"segments", len(t.segments), "wal_files", len(files))
 	if t.opts.CompactInterval > 0 {
 		go t.runCompactor()
 	} else {
@@ -425,6 +432,7 @@ func (t *WritableTable) seal() {
 	t.segments = append(t.segments, seg)
 	t.sealedRows = hi
 	t.seals++
+	t.log.Debug("segment sealed", "dir", t.dir, "first_row", lo, "rows", hi-lo, "seals", t.seals)
 	select {
 	case t.nudge <- struct{}{}:
 	default:

@@ -1,0 +1,44 @@
+// Package logx holds the small shared pieces of the structured-logging
+// setup: a discard logger for components whose caller supplied none
+// (keeps every log call site unconditional and nil-free), and the
+// text/json handler selection behind fastmatchd's -log-format flag.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Discard returns a logger that drops everything. Used as the default
+// wherever a Logger option is left nil, so components never need to
+// nil-check before logging. (slog.DiscardHandler needs Go 1.23+; a
+// text handler on io.Discard is the 1.22-compatible equivalent — the
+// level guard below keeps it from even formatting records.)
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.Level(127), // above every real level: Enabled is always false
+	}))
+}
+
+// OrDiscard returns l, or the discard logger when l is nil.
+func OrDiscard(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l
+}
+
+// New builds a logger writing to w in the named format: "text"
+// (slog.TextHandler, the human default) or "json" (slog.JSONHandler,
+// one object per line for log shippers).
+func New(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}

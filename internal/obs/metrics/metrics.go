@@ -1,0 +1,221 @@
+// Package metrics provides the two halves of the server's Prometheus
+// integration, hand-rolled over the standard library (the repo is
+// dependency-free by policy):
+//
+//   - Histogram: a concurrency-safe fixed-bucket histogram accumulator
+//     (cumulative bucket counts, sum, count — the Prometheus histogram
+//     model) for request latencies and admission waits.
+//   - Writer/Family: a text-format exposition builder emitting the
+//     Prometheus exposition format version 0.0.4 (# HELP/# TYPE headers,
+//     escaped label values, le-bucketed histogram series with _sum and
+//     _count), consumed by GET /metrics.
+//
+// The exposition side takes plain float64 samples, so the serving layer
+// renders /metrics from the exact same snapshots /v1/stats serves — the
+// two endpoints can never disagree.
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultLatencyBuckets are the request-duration bucket bounds in
+// seconds: sub-millisecond cache hits up through multi-second exact
+// scans over large tables.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram accumulator. The zero value is
+// not usable; create with NewHistogram. All methods are safe for
+// concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram creates a histogram over the given ascending upper
+// bounds (the implicit +Inf bucket is added automatically). Bounds are
+// copied and sorted defensively; duplicates are allowed but pointless.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Find the first bound >= v; linear scan beats binary search at the
+	// bucket counts in play (≤ ~16).
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram in Prometheus
+// form: Cumulative[i] counts observations ≤ Bounds[i]; Count includes
+// the +Inf overflow.
+type HistSnapshot struct {
+	Bounds     []float64
+	Cumulative []uint64
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot returns a consistent copy with cumulative bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistSnapshot{
+		Bounds:     h.bounds, // immutable after NewHistogram
+		Cumulative: make([]uint64, len(h.bounds)),
+		Sum:        h.sum,
+		Count:      h.count,
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i]
+		out.Cumulative[i] = cum
+	}
+	return out
+}
+
+// Writer builds one exposition document. Families must be opened with
+// Counter/Gauge/HistogramFamily before their samples are added; each
+// family's samples must all be emitted before the next family opens
+// (the Prometheus format requires contiguous families).
+type Writer struct {
+	buf bytes.Buffer
+}
+
+// NewWriter creates an empty exposition document.
+func NewWriter() *Writer { return &Writer{} }
+
+// Family is an open metric family accepting samples.
+type Family struct {
+	w    *Writer
+	name string
+	typ  string
+}
+
+func (w *Writer) family(name, typ, help string) *Family {
+	fmt.Fprintf(&w.buf, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	return &Family{w: w, name: name, typ: typ}
+}
+
+// Counter opens a counter family.
+func (w *Writer) Counter(name, help string) *Family { return w.family(name, "counter", help) }
+
+// Gauge opens a gauge family.
+func (w *Writer) Gauge(name, help string) *Family { return w.family(name, "gauge", help) }
+
+// HistogramFamily opens a histogram family; add series with
+// Family.Histogram.
+func (w *Writer) HistogramFamily(name, help string) *Family {
+	return w.family(name, "histogram", help)
+}
+
+// Sample emits one sample line. Labels are alternating key, value pairs;
+// values are escaped per the exposition format. Passing an odd number of
+// label strings is a programming error and panics.
+func (f *Family) Sample(value float64, labels ...string) {
+	f.w.buf.WriteString(f.name)
+	writeLabels(&f.w.buf, labels, "", 0)
+	f.w.buf.WriteByte(' ')
+	f.w.buf.WriteString(formatValue(value))
+	f.w.buf.WriteByte('\n')
+}
+
+// Histogram emits one histogram series from a snapshot: the cumulative
+// le buckets (including the mandatory le="+Inf"), then _sum and _count.
+func (f *Family) Histogram(snap HistSnapshot, labels ...string) {
+	for i, bound := range snap.Bounds {
+		f.w.buf.WriteString(f.name)
+		f.w.buf.WriteString("_bucket")
+		writeLabels(&f.w.buf, labels, "le", bound)
+		fmt.Fprintf(&f.w.buf, " %d\n", snap.Cumulative[i])
+	}
+	f.w.buf.WriteString(f.name)
+	f.w.buf.WriteString("_bucket")
+	writeLabels(&f.w.buf, labels, "le", math.Inf(1))
+	fmt.Fprintf(&f.w.buf, " %d\n", snap.Count)
+	f.w.buf.WriteString(f.name)
+	f.w.buf.WriteString("_sum")
+	writeLabels(&f.w.buf, labels, "", 0)
+	f.w.buf.WriteByte(' ')
+	f.w.buf.WriteString(formatValue(snap.Sum))
+	f.w.buf.WriteByte('\n')
+	f.w.buf.WriteString(f.name)
+	f.w.buf.WriteString("_count")
+	writeLabels(&f.w.buf, labels, "", 0)
+	fmt.Fprintf(&f.w.buf, " %d\n", snap.Count)
+}
+
+// Bytes returns the document built so far.
+func (w *Writer) Bytes() []byte { return w.buf.Bytes() }
+
+// writeLabels renders a {k="v",...} label block (empty block omitted).
+// leKey, when non-empty, appends an le label with the given bound.
+func writeLabels(buf *bytes.Buffer, labels []string, leKey string, le float64) {
+	if len(labels)%2 != 0 {
+		panic("metrics: odd label list")
+	}
+	if len(labels) == 0 && leKey == "" {
+		return
+	}
+	buf.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(labels[i])
+		buf.WriteString(`="`)
+		buf.WriteString(escapeLabel(labels[i+1]))
+		buf.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(leKey)
+		buf.WriteString(`="`)
+		buf.WriteString(formatValue(le))
+		buf.WriteByte('"')
+	}
+	buf.WriteByte('}')
+}
+
+// formatValue renders a sample value: shortest round-trip float form,
+// with the infinities spelled the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestHistogramCumulativeCounts(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if len(s.Bounds) != 3 || len(s.Cumulative) != 3 {
+		t.Fatalf("snapshot shape: %+v", s)
+	}
+	// Cumulative: ≤0.1 → 1, ≤1 → 3, ≤10 → 4; +Inf (Count) → 5.
+	want := []uint64{1, 3, 4}
+	for i, c := range s.Cumulative {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (full %+v)", i, c, want[i], s)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 0.05+0.5+0.5+5+50 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramBoundaryValuesAreLE(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is ≤, so this lands in the first bucket
+	h.Observe(2)
+	s := h.Snapshot()
+	if s.Cumulative[0] != 1 || s.Cumulative[1] != 2 {
+		t.Fatalf("boundary observations misplaced: %+v", s)
+	}
+}
+
+func TestDefaultLatencyBucketsAreSorted(t *testing.T) {
+	for i := 1; i < len(DefaultLatencyBuckets); i++ {
+		if DefaultLatencyBuckets[i] <= DefaultLatencyBuckets[i-1] {
+			t.Fatalf("bucket bounds not increasing at %d: %v", i, DefaultLatencyBuckets)
+		}
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional {labels},
+// value. This is the same shape the server-side /metrics test enforces.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+$`)
+
+func TestExpositionDocumentIsWellFormed(t *testing.T) {
+	w := NewWriter()
+	c := w.Counter("app_requests_total", "Requests\nby outcome.")
+	c.Sample(12, "table", "flights", "outcome", "ok")
+	c.Sample(3, "table", `we"ird\n`, "outcome", "failed")
+	g := w.Gauge("app_tables", "Loaded tables.")
+	g.Sample(2)
+	hf := w.HistogramFamily("app_latency_seconds", "Latency.")
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+	hf.Histogram(h.Snapshot(), "table", "flights")
+
+	doc := string(w.Bytes())
+	lines := strings.Split(strings.TrimRight(doc, "\n"), "\n")
+	var samples, helps, types int
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			helps++
+			if strings.Contains(line, "\n") {
+				t.Fatalf("unescaped newline in HELP: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			types++
+		default:
+			samples++
+			if !sampleLine.MatchString(line) {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+		}
+	}
+	if helps != 3 || types != 3 {
+		t.Fatalf("want 3 HELP + 3 TYPE lines, got %d + %d", helps, types)
+	}
+	// 2 counter samples + 1 gauge + histogram (2 bounds + +Inf + sum + count).
+	if samples != 2+1+5 {
+		t.Fatalf("want 8 sample lines, got %d:\n%s", samples, doc)
+	}
+	for _, must := range []string{
+		"# TYPE app_requests_total counter",
+		"# TYPE app_tables gauge",
+		"# TYPE app_latency_seconds histogram",
+		`app_requests_total{table="flights",outcome="ok"} 12`,
+		`app_requests_total{table="we\"ird\\n",outcome="failed"} 3`,
+		`app_latency_seconds_bucket{table="flights",le="0.1"} 1`,
+		`app_latency_seconds_bucket{table="flights",le="1"} 1`,
+		`app_latency_seconds_bucket{table="flights",le="+Inf"} 2`,
+		`app_latency_seconds_sum{table="flights"} 2.05`,
+		`app_latency_seconds_count{table="flights"} 2`,
+	} {
+		if !strings.Contains(doc, must+"\n") {
+			t.Fatalf("document missing %q:\n%s", must, doc)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		1.5:          "1.5",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.0005:       "0.0005",
+		1000000:      "1e+06",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Fatalf("formatValue(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOddLabelListPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list did not panic")
+		}
+	}()
+	w := NewWriter()
+	w.Counter("x_total", "x").Sample(1, "only-key")
+}

@@ -4,7 +4,13 @@ import (
 	"context"
 	"sync/atomic"
 	"time"
+
+	"fastmatch/internal/obs/metrics"
 )
+
+// admissionWaitBuckets bound the wait-duration histogram: waits are
+// capped by maxWait (2s default), so the range is tight.
+var admissionWaitBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 5}
 
 // admission bounds the number of engine runs in flight with a semaphore.
 // Query execution is CPU- and memory-bound (per-run sampler state is
@@ -19,10 +25,21 @@ type admission struct {
 	rejected atomic.Int64
 	canceled atomic.Int64
 	inflight atomic.Int64
+	// waiting gauges requests currently queued for a slot; waits counts
+	// requests that ever had to queue (the fast path never increments
+	// either); waitHist distributes how long queued requests waited,
+	// whatever the outcome.
+	waiting  atomic.Int64
+	waits    atomic.Int64
+	waitHist *metrics.Histogram
 }
 
 func newAdmission(limit int, maxWait time.Duration) *admission {
-	return &admission{sem: make(chan struct{}, limit), maxWait: maxWait}
+	return &admission{
+		sem:      make(chan struct{}, limit),
+		maxWait:  maxWait,
+		waitHist: metrics.NewHistogram(admissionWaitBuckets),
+	}
 }
 
 // admitResult says how an admission attempt ended.
@@ -60,6 +77,13 @@ func (a *admission) acquire(ctx context.Context) admitResult {
 		a.rejected.Add(1)
 		return admitTimeout
 	}
+	a.waits.Add(1)
+	a.waiting.Add(1)
+	waitStart := time.Now()
+	defer func() {
+		a.waiting.Add(-1)
+		a.waitHist.Observe(time.Since(waitStart).Seconds())
+	}()
 	timer := time.NewTimer(a.maxWait)
 	defer timer.Stop()
 	select {
@@ -91,6 +115,11 @@ type AdmissionStats struct {
 	// Canceled counts queued requests abandoned because their client
 	// disconnected (or their deadline passed) while waiting for a slot.
 	Canceled int64 `json:"canceled"`
+	// Waiting gauges requests queued for a slot right now; Waits counts
+	// requests that ever queued (admitted, rejected, or abandoned —
+	// fast-path admissions don't count).
+	Waiting int64 `json:"waiting,omitempty"`
+	Waits   int64 `json:"waits,omitempty"`
 }
 
 // stats returns a snapshot of the admission counters.
@@ -100,5 +129,7 @@ func (a *admission) stats() AdmissionStats {
 		InFlight: a.inflight.Load(),
 		Rejected: a.rejected.Load(),
 		Canceled: a.canceled.Load(),
+		Waiting:  a.waiting.Load(),
+		Waits:    a.waits.Load(),
 	}
 }

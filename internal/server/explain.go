@@ -1,0 +1,42 @@
+package server
+
+import (
+	"net/http"
+
+	"fastmatch/internal/engine"
+)
+
+// ExplainResponse is the body of POST /v1/explain: the plan's static
+// execution profile — what the planner resolved and what the skip masks
+// prove prunable — without running the query. The request body is the
+// same QueryRequest as /v1/query (target and most options are ignored;
+// executor and kernel/skip toggles shape the report).
+type ExplainResponse struct {
+	Table string `json:"table"`
+	// Plan is the engine's static profile for the resolved plan.
+	Plan engine.ExplainInfo `json:"plan"`
+	// PlanCached reports whether the plan came from the plan cache.
+	PlanCached bool `json:"plan_cached"`
+	// Executor names the executor the request would run.
+	Executor string `json:"executor"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	pq := s.prepareQuery(w, r)
+	if pq == nil {
+		return
+	}
+	defer pq.release()
+	plan, planHit, err := s.planFor(pq)
+	if err != nil {
+		pq.fail(w, http.StatusUnprocessableEntity, "planning query: %v", err)
+		return
+	}
+	s.finishRequest(pq, outcomeOK, nil, planHit, false, http.StatusOK, "")
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Table:      pq.req.Table,
+		Plan:       plan.Explain(),
+		PlanCached: planHit,
+		Executor:   pq.opts.Executor.String(),
+	})
+}

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"fastmatch/internal/engine"
+	"fastmatch/internal/obs/trace"
 )
 
 // statusClientClosedRequest is nginx's nonstandard 499 "client closed
@@ -23,14 +25,26 @@ const maxRequestBody = 1 << 20
 // routes installs the /v1 API on the server's mux.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/tables/{name}/rows", s.handleAppend)
 	if s.cfg.EnableAdmin {
 		s.mux.HandleFunc("POST /v1/admin/load", s.handleAdminLoad)
 		s.mux.HandleFunc("POST /v1/admin/unload", s.handleAdminUnload)
+		// pprof rides behind the same trust boundary as admin loads: CPU
+		// profiles and heap dumps are not for untrusted networks.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 }
 
@@ -47,19 +61,49 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz (also aliased at
+// GET /healthz). Status is "ok" when every registered table can serve
+// queries, "degraded" otherwise.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	Tables   int    `json:"tables"`
 	UptimeNS int64  `json:"uptime_ns"`
+	// Version/Revision/GoVersion identify the running build
+	// (debug.ReadBuildInfo; Revision is the VCS commit when stamped).
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	// TableStatus reports per-table readiness: whether each table can
+	// currently bind an engine over its data (for live tables, whether a
+	// view of the current generation can be taken).
+	TableStatus []TableHealth `json:"table_status,omitempty"`
+}
+
+// TableHealth is one table's readiness in a HealthResponse.
+type TableHealth struct {
+	Name  string `json:"name"`
+	Ready bool   `json:"ready"`
+	Rows  int    `json:"rows,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
-		Tables:   s.reg.count(),
-		UptimeNS: int64(time.Since(s.started)),
-	})
+	bi := buildInfo()
+	resp := HealthResponse{
+		Status:      "ok",
+		UptimeNS:    int64(time.Since(s.started)),
+		Version:     bi.Version,
+		Revision:    bi.Revision,
+		GoVersion:   bi.GoVersion,
+		TableStatus: s.reg.health(),
+	}
+	resp.Tables = len(resp.TableStatus)
+	for _, th := range resp.TableStatus {
+		if !th.Ready {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // TablesResponse is the body of GET /v1/tables.
@@ -115,6 +159,10 @@ type wireResponse struct {
 	// DurationNS is this request's server-side wall time (for a cached
 	// response, the lookup time — not the original run's).
 	DurationNS int64 `json:"duration_ns"`
+	// Trace is the request's span tree, present only when the request set
+	// "trace": true. It precedes Result so tooling that slices the
+	// response at `"result":` (the smoke script does) keeps working.
+	Trace *trace.Snapshot `json:"trace,omitempty"`
 	// Result is the deterministic result payload (ResultPayload).
 	Result json.RawMessage `json:"result"`
 }
@@ -124,6 +172,7 @@ type wireResponse struct {
 // live tables) its data view stay pinned until release runs — including
 // across a canceled run, so a mid-flight scan can never lose its storage.
 type preparedQuery struct {
+	srv       *Server
 	req       QueryRequest
 	entry     *tableEntry
 	eng       *engine.Engine
@@ -134,12 +183,20 @@ type preparedQuery struct {
 	resultKey string
 	began     time.Time
 	release   func()
+	// id is the generated query ID (echoed as X-Query-ID and stamped on
+	// the trace); tr is the request's span tree, recorded for every
+	// request — it feeds the slow-query log and the slowest-traces ring
+	// whether or not the client asked for the trace back.
+	id string
+	tr *trace.Trace
 }
 
-// fail records a failed request and writes the error response.
+// fail records a failed request (metrics, trace, request log) and writes
+// the error response.
 func (pq *preparedQuery) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeFailed, false, false)
-	writeError(w, status, format, args...)
+	msg := fmt.Sprintf(format, args...)
+	pq.srv.finishRequest(pq, outcomeFailed, nil, false, false, status, msg)
+	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
 // prepareQuery decodes and validates a query request, pins the table
@@ -147,16 +204,21 @@ func (pq *preparedQuery) fail(w http.ResponseWriter, status int, format string, 
 // failure it writes the error response (and accounts it) and returns
 // nil; on success the caller must call release when done.
 func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQuery {
-	pq := &preparedQuery{began: time.Now()}
+	id := newQueryID()
+	pq := &preparedQuery{srv: s, id: id, tr: trace.New(id), began: time.Now()}
+	w.Header().Set("X-Query-ID", id)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&pq.req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding query request: %v", err)
+	dsp := pq.tr.Start("decode")
+	err := dec.Decode(&pq.req)
+	dsp.End()
+	if err != nil {
+		pq.fail(w, http.StatusBadRequest, "decoding query request: %v", err)
 		return nil
 	}
 	entry, ok := s.reg.acquire(pq.req.Table)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no table %q (see /v1/tables)", pq.req.Table)
+		pq.fail(w, http.StatusNotFound, "no table %q (see /v1/tables)", pq.req.Table)
 		return nil
 	}
 	pq.entry = entry
@@ -201,6 +263,11 @@ func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQ
 	}
 	pq.planKey = fmt.Sprintf("%s\x00%d\x00%d\x00%s", pq.req.Table, entry.incarnation, gen, qfp)
 	pq.resultKey = pq.planKey + "\x00" + pq.target.Fingerprint() + "\x00" + pq.opts.Fingerprint()
+	// Every request runs traced: the engine's span tree feeds the
+	// slow-query log and the debug ring even when the client never asked
+	// for it (Trace is excluded from the fingerprint, so this does not
+	// fragment the result cache).
+	pq.opts.Trace = pq.tr
 	return pq
 }
 
@@ -220,7 +287,10 @@ func (s *Server) runContext(r *http.Request, pq *preparedQuery) (ctx context.Con
 // admit claims an admission slot for pq under ctx, writing the rejection
 // response when it fails. The caller must release on true.
 func (s *Server) admit(ctx context.Context, w http.ResponseWriter, pq *preparedQuery) bool {
-	switch s.adm.acquire(ctx) {
+	asp := pq.tr.Start("admission")
+	verdict := s.adm.acquire(ctx)
+	asp.End()
+	switch verdict {
 	case admitOK:
 		return true
 	case admitCanceled:
@@ -229,10 +299,10 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, pq *preparedQ
 		// client is still connected and deserves timeout semantics)
 		// from a client that hung up.
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeTimedOut, false, false)
+			s.finishRequest(pq, outcomeTimedOut, nil, false, false, http.StatusGatewayTimeout, "queued past deadline")
 			writeError(w, http.StatusGatewayTimeout, "query timed out while queued for admission")
 		} else {
-			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeCanceled, false, false)
+			s.finishRequest(pq, outcomeCanceled, nil, false, false, statusClientClosedRequest, "client closed request while queued")
 			writeError(w, statusClientClosedRequest, "client closed request while queued for admission")
 		}
 	default: // admitTimeout
@@ -242,12 +312,17 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, pq *preparedQ
 	return false
 }
 
-// planFor returns the (possibly cached) plan for pq.
+// planFor returns the (possibly cached) plan for pq. A cache miss plans
+// under the request's trace, so plan-building cost shows up in the span
+// tree where it is paid.
 func (s *Server) planFor(pq *preparedQuery) (*engine.Plan, bool, error) {
+	psp := pq.tr.Start("plan_cache")
 	plan, planHit := s.plans.Get(pq.planKey)
+	psp.SetAttr("hit", planHit)
+	psp.End()
 	if !planHit {
 		var err error
-		if plan, err = pq.eng.Prepare(pq.q); err != nil {
+		if plan, err = pq.eng.PrepareTraced(pq.q, pq.tr); err != nil {
 			return nil, false, err
 		}
 		s.plans.Put(pq.planKey, plan)
@@ -264,16 +339,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Result cache: seeded runs are deterministic (the async FastMatch
 	// executor aside, where a cached answer is still one valid (ε, δ)
-	// answer), so a fingerprint hit can skip the engine entirely.
-	if payload, ok := s.results.Get(pq.resultKey); ok {
-		pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeOK, false, true)
-		writeJSON(w, http.StatusOK, wireResponse{
-			Table:      pq.req.Table,
-			Cached:     true,
-			DurationNS: int64(time.Since(pq.began)),
-			Result:     json.RawMessage(payload),
-		})
-		return
+	// answer), so a fingerprint hit can skip the engine entirely. Traced
+	// requests skip the read — Trace is excluded from the fingerprint, so
+	// a hit would hand back a payload with no span tree behind it — but
+	// still publish their payload below for untraced requests to reuse.
+	if !pq.req.Trace {
+		csp := pq.tr.Start("result_cache")
+		payload, ok := s.results.Get(pq.resultKey)
+		csp.SetAttr("hit", ok)
+		csp.End()
+		if ok {
+			s.finishRequest(pq, outcomeOK, nil, false, true, http.StatusOK, "")
+			writeJSON(w, http.StatusOK, wireResponse{
+				Table:      pq.req.Table,
+				Cached:     true,
+				DurationNS: int64(time.Since(pq.began)),
+				Result:     json.RawMessage(payload),
+			})
+			return
+		}
 	}
 
 	ctx, cancel, timedOut := s.runContext(r, pq)
@@ -304,10 +388,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.Canceled):
 			// Client gone before any salvageable work: the status is for
 			// the access log, nobody reads the body.
-			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeCanceled, false, false)
+			s.finishRequest(pq, outcomeCanceled, nil, false, false, statusClientClosedRequest, "client closed request")
 			writeError(w, statusClientClosedRequest, "client closed request")
 		case errors.Is(err, context.DeadlineExceeded):
-			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeTimedOut, false, false)
+			s.finishRequest(pq, outcomeTimedOut, nil, false, false, http.StatusGatewayTimeout, "query timed out")
 			writeError(w, http.StatusGatewayTimeout, "query timed out before any result was available")
 		default:
 			// Target resolution and run errors are request-shaped too
@@ -321,7 +405,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// A partial result exists but its client is gone; record the
 		// cancellation (the write below will fail on the dead
 		// connection, which is fine).
-		pq.entry.metrics.observe(time.Since(pq.began), res, outcomeCanceled, planHit, false)
+		s.finishRequest(pq, outcomeCanceled, res, planHit, false, statusClientClosedRequest, "client closed request")
 		writeError(w, statusClientClosedRequest, "client closed request")
 		return
 	}
@@ -342,11 +426,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.results.Put(pq.resultKey, payload)
 	}
-	pq.entry.metrics.observe(time.Since(pq.began), res, oc, planHit, false)
-	writeJSON(w, http.StatusOK, wireResponse{
+	snap := s.finishRequest(pq, oc, res, planHit, false, http.StatusOK, "")
+	resp := wireResponse{
 		Table:      pq.req.Table,
 		Cached:     false,
 		DurationNS: int64(time.Since(pq.began)),
 		Result:     json.RawMessage(payload),
-	})
+	}
+	if pq.req.Trace {
+		resp.Trace = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

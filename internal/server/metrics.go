@@ -8,6 +8,7 @@ import (
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/ingest"
+	"fastmatch/internal/obs/metrics"
 )
 
 // latencyWindow is how many recent request latencies each table keeps for
@@ -31,11 +32,23 @@ type tableMetrics struct {
 	resMiss    int64
 	io         engine.IOStats
 	samples    int64
+	samplesS1  int64
+	samplesS2  int64
+	samplesS3  int64
+	rounds     int64
 	appendReqs int64
 	appendRows int64
 	appendErrs int64
 	latencies  [latencyWindow]time.Duration
 	latCount   int // total observations (ring index = latCount % window)
+	// latHist is the bucketed latency distribution behind the
+	// fastmatch_request_duration_seconds series on /metrics; the
+	// quantile ring above stays for /v1/stats.
+	latHist *metrics.Histogram
+}
+
+func newTableMetrics() *tableMetrics {
+	return &tableMetrics{latHist: metrics.NewHistogram(metrics.DefaultLatencyBuckets)}
 }
 
 // runOutcome classifies how a query request ended, for the per-table
@@ -55,6 +68,22 @@ const (
 	// outcomeTimedOut hit the per-table/request query timeout.
 	outcomeTimedOut
 )
+
+// String names the outcome for logs and the /metrics outcome label.
+func (oc runOutcome) String() string {
+	switch oc {
+	case outcomeOK:
+		return "ok"
+	case outcomeFailed:
+		return "failed"
+	case outcomeCanceled:
+		return "canceled"
+	case outcomeTimedOut:
+		return "timed_out"
+	default:
+		return "unknown"
+	}
+}
 
 // observeAppend records one append request against the table.
 func (m *tableMetrics) observeAppend(rows int, failed bool) {
@@ -100,9 +129,16 @@ func (m *tableMetrics) observe(d time.Duration, res *engine.Result, oc runOutcom
 		}
 		m.io.Add(res.IO)
 		m.samples += res.Stats.TotalSamples()
+		m.samplesS1 += res.Stats.SamplesStage1
+		m.samplesS2 += res.Stats.SamplesStage2
+		m.samplesS3 += res.Stats.SamplesStage3
+		m.rounds += int64(res.Stats.Rounds)
 	}
 	m.latencies[m.latCount%latencyWindow] = d
 	m.latCount++
+	if m.latHist != nil {
+		m.latHist.Observe(d.Seconds())
+	}
 }
 
 // TableMetrics is the JSON form of one table's serving statistics,
@@ -127,8 +163,14 @@ type TableMetrics struct {
 	PlanCacheMisses   int64 `json:"plan_cache_misses"`
 	// IO aggregates engine I/O counters across all executed runs.
 	IO engine.IOStats `json:"io"`
-	// SamplesDrawn aggregates HistSim tuples consumed across runs.
-	SamplesDrawn int64 `json:"samples_drawn"`
+	// SamplesDrawn aggregates HistSim tuples consumed across runs;
+	// SamplesStage1/2/3 split it by algorithm stage, and Rounds counts
+	// stage-2 refinement rounds across runs.
+	SamplesDrawn  int64 `json:"samples_drawn"`
+	SamplesStage1 int64 `json:"samples_stage1,omitempty"`
+	SamplesStage2 int64 `json:"samples_stage2,omitempty"`
+	SamplesStage3 int64 `json:"samples_stage3,omitempty"`
+	Rounds        int64 `json:"rounds,omitempty"`
 	// AppendRequests/AppendedRows/AppendErrors count POST .../rows calls
 	// served for the table (always zero for static backends).
 	AppendRequests int64 `json:"append_requests,omitempty"`
@@ -142,6 +184,10 @@ type TableMetrics struct {
 	// Ingest carries the live table's ingest counters (nil for static
 	// backends; filled in by the registry).
 	Ingest *ingest.Stats `json:"ingest,omitempty"`
+	// LatencyHist is the bucketed request-duration distribution backing
+	// /metrics; excluded from the /v1/stats JSON (the quantile summary
+	// above serves that endpoint).
+	LatencyHist metrics.HistSnapshot `json:"-"`
 }
 
 // LatencyQuantiles summarizes the recent-latency window in milliseconds.
@@ -175,17 +221,38 @@ func (m *tableMetrics) snapshot() TableMetrics {
 		PlanCacheMisses:   m.planMiss,
 		IO:                m.io,
 		SamplesDrawn:      m.samples,
+		SamplesStage1:     m.samplesS1,
+		SamplesStage2:     m.samplesS2,
+		SamplesStage3:     m.samplesS3,
+		Rounds:            m.rounds,
 		AppendRequests:    m.appendReqs,
 		AppendedRows:      m.appendRows,
 		AppendErrors:      m.appendErrs,
 	}
 	m.mu.Unlock()
+	if m.latHist != nil {
+		out.LatencyHist = m.latHist.Snapshot()
+	}
 	if n > 0 {
+		// The copy above takes latencies[:n]: before the ring wraps
+		// (latCount ≤ window) those are exactly the n observations; after
+		// it wraps the ring is full (n == window), so the slice is the
+		// whole window regardless of where the write cursor sits — order
+		// does not matter because quantiles sort first.
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		// Linear interpolation between the surrounding order statistics
+		// (the "type 7" estimator): q*(n-1) is in general fractional, and
+		// truncating it would systematically understate upper quantiles
+		// on small windows.
 		quantile := func(q float64) float64 {
-			i := int(q * float64(n-1))
-			return ms(lats[i])
+			pos := q * float64(n-1)
+			i := int(pos)
+			lo := ms(lats[i])
+			if frac := pos - float64(i); frac > 0 && i+1 < n {
+				return lo + frac*(ms(lats[i+1])-lo)
+			}
+			return lo
 		}
 		out.LatencyMS = LatencyQuantiles{
 			P50:    quantile(0.50),

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -189,12 +190,14 @@ type registry struct {
 	mu           sync.RWMutex
 	entries      map[string]*tableEntry
 	incarnations map[string]uint64
+	log          *slog.Logger
 }
 
-func newRegistry() *registry {
+func newRegistry(log *slog.Logger) *registry {
 	return &registry{
 		entries:      make(map[string]*tableEntry),
 		incarnations: make(map[string]uint64),
+		log:          log,
 	}
 }
 
@@ -213,6 +216,9 @@ func (r *registry) add(e *tableEntry) error {
 	r.incarnations[e.name]++
 	e.incarnation = r.incarnations[e.name]
 	r.entries[e.name] = e
+	r.log.Info("table registered",
+		"table", e.name, "source", e.source,
+		"incarnation", e.incarnation, "live", e.live != nil)
 	return nil
 }
 
@@ -222,7 +228,7 @@ func (r *registry) register(name, source string, src colstore.Reader, queryTimeo
 		name:         name,
 		source:       source,
 		eng:          engine.New(src),
-		metrics:      &tableMetrics{},
+		metrics:      newTableMetrics(),
 		loadedAt:     time.Now(),
 		queryTimeout: queryTimeout,
 	})
@@ -234,7 +240,7 @@ func (r *registry) registerLive(name, source string, wt *ingest.WritableTable, q
 		name:         name,
 		source:       source,
 		live:         wt,
-		metrics:      &tableMetrics{},
+		metrics:      newTableMetrics(),
 		loadedAt:     time.Now(),
 		queryTimeout: queryTimeout,
 	})
@@ -262,7 +268,7 @@ func (r *registry) load(spec TableSpec) error {
 			Columns:   spec.Columns,
 			Measures:  spec.Measures,
 			BlockSize: spec.BlockSize,
-		}, ingest.Options{SealRows: spec.SealRows})
+		}, ingest.Options{SealRows: spec.SealRows, Logger: r.log})
 		if err != nil {
 			return fmt.Errorf("server: opening ingest table %q at %s: %w", spec.Name, spec.Path, err)
 		}
@@ -351,6 +357,7 @@ func (r *registry) unload(name string) error {
 	}
 	delete(r.entries, name)
 	r.mu.Unlock()
+	r.log.Info("table unloaded", "table", name)
 	return e.close()
 }
 
@@ -430,6 +437,28 @@ func (r *registry) list() []TableInfo {
 			continue // table closed mid-listing
 		}
 		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// health reports per-table readiness, name-sorted: a table is ready when
+// it can bind an engine over its current data (for live tables, when a
+// view of the current generation can be taken).
+func (r *registry) health() []TableHealth {
+	entries := r.acquireAll()
+	out := make([]TableHealth, 0, len(entries))
+	for _, e := range entries {
+		th := TableHealth{Name: e.name}
+		if eng, _, done, err := e.engineNow(); err != nil {
+			th.Error = err.Error()
+		} else {
+			th.Ready = true
+			th.Rows = eng.Source().NumRows()
+			done()
+		}
+		e.release()
+		out = append(out, th)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

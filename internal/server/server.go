@@ -22,6 +22,7 @@
 package server
 
 import (
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/ingest"
+	"fastmatch/internal/obs/logx"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -57,6 +59,19 @@ type Config struct {
 	// (Partial set). 0 means no timeout; TableSpec.QueryTimeoutMS
 	// overrides it per table.
 	QueryTimeout time.Duration
+	// Logger receives the server's structured logs (per-request lines,
+	// table load/unload events, ingest WAL/compaction events, slow-query
+	// reports). Nil discards everything — embedding programs and tests
+	// stay quiet by default.
+	Logger *slog.Logger
+	// SlowQuery, when > 0, is the slow-query threshold: any query
+	// request at or past it is logged at Warn level with its full span
+	// tree attached.
+	SlowQuery time.Duration
+	// TraceRingSize bounds the in-memory ring of slowest recent traces
+	// served at GET /v1/debug/traces; 0 selects 32, < 0 disables the
+	// ring (the endpoint then always answers with an empty list).
+	TraceRingSize int
 }
 
 // Server serves FastMatch queries over registered tables. Create with
@@ -70,6 +85,8 @@ type Server struct {
 	adm     *admission
 	mux     *http.ServeMux
 	started time.Time
+	log     *slog.Logger
+	traces  *traceRing
 
 	// testHookRunning, when set, is invoked while a query request holds
 	// its admission slot — lets tests park a request deterministically.
@@ -93,14 +110,20 @@ func New(cfg Config) *Server {
 	if cfg.ResultCacheSize == 0 {
 		cfg.ResultCacheSize = 1024
 	}
+	if cfg.TraceRingSize == 0 {
+		cfg.TraceRingSize = 32
+	}
+	log := logx.OrDiscard(cfg.Logger)
 	s := &Server{
 		cfg:     cfg,
-		reg:     newRegistry(),
+		reg:     newRegistry(log),
 		plans:   newLRUCache[string, *engine.Plan](cfg.PlanCacheSize),
 		results: newLRUCache[string, []byte](cfg.ResultCacheSize),
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxWait),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		log:     log,
+		traces:  newTraceRing(cfg.TraceRingSize),
 	}
 	s.routes()
 	return s

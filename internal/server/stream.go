@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fastmatch/internal/engine"
+	"fastmatch/internal/obs/trace"
 )
 
 // The NDJSON streaming form of the query API: POST /v1/query/stream
@@ -35,11 +36,13 @@ type StreamFrame struct {
 	// frame of every stream is a progress frame with phase "start",
 	// emitted before the run begins.
 	Progress *engine.Progress `json:"progress,omitempty"`
-	// Table/Cached/DurationNS/Result mirror the blocking endpoint's
-	// response ("result" frames).
+	// Table/Cached/DurationNS/Trace/Result mirror the blocking endpoint's
+	// response ("result" frames); Trace is present only when the request
+	// set "trace": true.
 	Table      string          `json:"table,omitempty"`
 	Cached     bool            `json:"cached,omitempty"`
 	DurationNS int64           `json:"duration_ns,omitempty"`
+	Trace      *trace.Snapshot `json:"trace,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	// Error describes a failed run ("error" frames).
 	Error string `json:"error,omitempty"`
@@ -81,7 +84,16 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	// — nothing has been streamed yet, so the client still gets proper
 	// error semantics. Cached answers stream a single start frame and
 	// the terminal result, preserving the ≥1-progress-frame shape.
-	cachedPayload, cached := s.results.Get(pq.resultKey)
+	// Traced requests bypass the cache read, same as the blocking
+	// endpoint.
+	var cachedPayload []byte
+	var cached bool
+	if !pq.req.Trace {
+		csp := pq.tr.Start("result_cache")
+		cachedPayload, cached = s.results.Get(pq.resultKey)
+		csp.SetAttr("hit", cached)
+		csp.End()
+	}
 	var plan *engine.Plan
 	var planHit bool
 	if !cached {
@@ -111,7 +123,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	sw.frame(StreamFrame{Type: "progress", Progress: &engine.Progress{Phase: "start"}})
 
 	if cached {
-		pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeOK, false, true)
+		s.finishRequest(pq, outcomeOK, nil, false, true, http.StatusOK, "")
 		sw.frame(StreamFrame{
 			Type:       "result",
 			Table:      pq.req.Table,
@@ -131,12 +143,12 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil && !(res != nil && res.Partial) {
 		switch {
 		case errors.Is(err, context.Canceled):
-			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeCanceled, false, false)
+			s.finishRequest(pq, outcomeCanceled, nil, false, false, http.StatusOK, "client closed request")
 		case errors.Is(err, context.DeadlineExceeded):
-			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeTimedOut, false, false)
+			s.finishRequest(pq, outcomeTimedOut, nil, false, false, http.StatusOK, "query timed out")
 			sw.frame(StreamFrame{Type: "error", Error: "query timed out before any result was available"})
 		default:
-			pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeFailed, false, false)
+			s.finishRequest(pq, outcomeFailed, nil, false, false, http.StatusOK, err.Error())
 			sw.frame(StreamFrame{Type: "error", Error: "running query: " + err.Error()})
 		}
 		return
@@ -145,13 +157,13 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		// Partial work, but the client is gone: account the cancellation
 		// (including the I/O the aborted scan did); no one is listening
 		// for a frame.
-		pq.entry.metrics.observe(time.Since(pq.began), res, outcomeCanceled, planHit, false)
+		s.finishRequest(pq, outcomeCanceled, res, planHit, false, http.StatusOK, "client closed request")
 		return
 	}
 
 	payload, merr := json.Marshal(toPayload(res))
 	if merr != nil {
-		pq.entry.metrics.observe(time.Since(pq.began), nil, outcomeFailed, false, false)
+		s.finishRequest(pq, outcomeFailed, nil, false, false, http.StatusOK, "encoding result: "+merr.Error())
 		sw.frame(StreamFrame{Type: "error", Error: "encoding result: " + merr.Error()})
 		return
 	}
@@ -165,11 +177,15 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		// exact payload — the byte-identity guarantee across endpoints.
 		s.results.Put(pq.resultKey, payload)
 	}
-	pq.entry.metrics.observe(time.Since(pq.began), res, oc, planHit, false)
-	sw.frame(StreamFrame{
+	snap := s.finishRequest(pq, oc, res, planHit, false, http.StatusOK, "")
+	frame := StreamFrame{
 		Type:       "result",
 		Table:      pq.req.Table,
 		DurationNS: int64(time.Since(pq.began)),
 		Result:     json.RawMessage(payload),
-	})
+	}
+	if pq.req.Trace {
+		frame.Trace = &snap
+	}
+	sw.frame(frame)
 }

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fastmatch/internal/obs/trace"
+)
+
+// traceRetention is how long a slow trace stays interesting: entries
+// older than this are evicted before new ones compete for a slot, so one
+// pathological request from hours ago cannot squat in the ring forever.
+const traceRetention = 15 * time.Minute
+
+// traceRing keeps the N slowest recent query traces for
+// GET /v1/debug/traces. Every finished request offers its trace; the
+// ring keeps the slowest ones within the retention window, so an
+// operator chasing a latency regression sees worst offenders, not just
+// the most recent requests.
+type traceRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []trace.Snapshot // duration-descending
+}
+
+// newTraceRing creates a ring keeping up to size traces; size < 0
+// disables recording entirely.
+func newTraceRing(size int) *traceRing {
+	if size < 0 {
+		size = 0
+	}
+	return &traceRing{cap: size}
+}
+
+// record offers one finished trace to the ring.
+func (r *traceRing) record(snap trace.Snapshot) {
+	if r.cap == 0 || snap.QueryID == "" {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if now.Sub(e.StartTime) <= traceRetention {
+			kept = append(kept, e)
+		}
+	}
+	r.entries = kept
+	if len(r.entries) >= r.cap {
+		if snap.DurationNS <= r.entries[len(r.entries)-1].DurationNS {
+			return
+		}
+		r.entries = r.entries[:len(r.entries)-1]
+	}
+	r.entries = append(r.entries, snap)
+	sort.SliceStable(r.entries, func(i, j int) bool {
+		return r.entries[i].DurationNS > r.entries[j].DurationNS
+	})
+}
+
+// snapshot copies the current entries, slowest first.
+func (r *traceRing) snapshot() []trace.Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]trace.Snapshot, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// TracesResponse is the body of GET /v1/debug/traces.
+type TracesResponse struct {
+	// Traces lists the slowest recently finished query traces,
+	// duration-descending (at most Config.TraceRingSize, within a
+	// 15-minute retention window).
+	Traces []trace.Snapshot `json:"traces"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.traces.snapshot()
+	if traces == nil {
+		traces = []trace.Snapshot{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: traces})
+}

@@ -26,6 +26,12 @@ type QueryRequest struct {
 	// Options overrides individual defaults; omitted fields keep
 	// DefaultOptions values scaled to the table size.
 	Options *OptionsSpec `json:"options,omitempty"`
+	// Trace asks for the request's span tree in the response (the "trace"
+	// field). Traced requests bypass the result-cache read — a cached
+	// payload has no span tree to attach — but the result bytes are
+	// byte-identical either way, and complete results are still cached
+	// for untraced requests to reuse.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QuerySpec mirrors engine.Query for JSON transport. Filter closures have

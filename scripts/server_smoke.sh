@@ -93,6 +93,26 @@ FSTATS="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flights"://')"
 printf '%s' "$FSTATS" | grep -Eq '"blocks_pruned":[1-9]' || { echo "/v1/stats missing pruned blocks: $FSTATS" >&2; exit 1; }
 printf '%s' "$FSTATS" | grep -Eq '"kernel_blocks":[1-9]' || { echo "/v1/stats missing kernel blocks: $FSTATS" >&2; exit 1; }
 
+echo "== /metrics exposes Prometheus text, with the pruning counters ticked"
+METRICS="$(curl -fsS "$BASE/metrics")"
+printf '%s\n' "$METRICS" | grep -q '^# TYPE fastmatch_requests_total counter' || { echo "/metrics missing requests_total family" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep -q '^# TYPE fastmatch_request_duration_seconds histogram' || { echo "/metrics missing latency histogram" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep -Eq '^fastmatch_requests_total\{table="flights",outcome="ok"\} [1-9]' || { echo "/metrics missing ok requests for flights" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep -Eq '^fastmatch_blocks_pruned_total\{table="flights"\} [1-9]' || { echo "/metrics shows no pruned blocks after predicate query" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep -Eq '^fastmatch_result_cache_hits_total\{table="flights"\} [1-9]' || { echo "/metrics missing cache hit" >&2; exit 1; }
+
+echo "== traced query returns a span tree with the same result bytes; ring exposes it"
+TQUERY="$(printf '%s' "$QUERY" | sed 's/^{/{"trace":true,/')"
+RT="$(curl -fsS -X POST "$BASE/v1/query" -d "$TQUERY")"
+echo "$RT" | grep -q '"trace":{'      || { echo "no trace in traced response: $RT" >&2; exit 1; }
+echo "$RT" | grep -q '"name":"run"'   || { echo "no run span in trace: $RT" >&2; exit 1; }
+echo "$RT" | grep -q '"cached":false' || { echo "traced request served from cache: $RT" >&2; exit 1; }
+PT="$(printf '%s' "$RT" | sed 's/.*"result"://')"
+[ "$P1" = "$PT" ] || { echo "traced result differs from untraced" >&2; echo "plain:  $P1" >&2; echo "traced: $PT" >&2; exit 1; }
+DT="$(curl -fsS "$BASE/v1/debug/traces")"
+echo "$DT" | grep -q '"query_id":' || { echo "debug trace ring empty: $DT" >&2; exit 1; }
+curl -fsS "$BASE/healthz" | grep -q '"table_status":' || { echo "healthz missing table_status" >&2; exit 1; }
+
 echo "== /v1/query/stream: progress frames precede a result byte-identical to the blocking answer"
 SQUERY='{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scanmatch","epsilon":0.1,"seed":21}}'
 STREAM="$(curl -fsS -N -X POST "$BASE/v1/query/stream" -d "$SQUERY")"
