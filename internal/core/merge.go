@@ -1,0 +1,64 @@
+package core
+
+import "fmt"
+
+// Merge folds other into b, making Batch a mergeable value: a batch
+// produced by N independent samplers over disjoint partitions of a
+// relation, merged in any order, equals the batch one sampler would have
+// produced over their union. This is the algebra intra-node parallel
+// sampling rounds and (eventually) distributed scatter-gather both rest
+// on, so the fold is associative and commutative by construction:
+//
+//   - Drawn and Counts are integer sums;
+//   - Hists are histogram sums, whose float64 cells only ever hold
+//     integer tuple counts (Add/AddN with integral n), so addition is
+//     exact and order-independent — merged results are byte-identical,
+//     not merely close;
+//   - Exhausted and Exact are ORs: a partition's producer asserts them
+//     only for scope it fully consumed, and the union is exhausted
+//     (exact) only where some producer proved it.
+//
+// Merge takes ownership of other's histograms (they may be adopted into
+// b rather than copied); other must not be used afterwards. A nil other
+// is a no-op.
+func (b *Batch) Merge(other *Batch) error {
+	if other == nil {
+		return nil
+	}
+	if len(other.Counts) != len(b.Counts) || len(other.Hists) != len(b.Hists) {
+		return fmt.Errorf("core: merging batches over different candidate domains (%d/%d vs %d/%d counts/hists)",
+			len(b.Counts), len(b.Hists), len(other.Counts), len(other.Hists))
+	}
+	b.Drawn += other.Drawn
+	for i, c := range other.Counts {
+		b.Counts[i] += c
+	}
+	for i, h := range other.Hists {
+		if h == nil {
+			continue
+		}
+		if b.Hists[i] == nil {
+			b.Hists[i] = h
+			continue
+		}
+		if err := b.Hists[i].AddHistogram(h); err != nil {
+			return err
+		}
+	}
+	b.Exhausted = b.Exhausted || other.Exhausted
+	switch {
+	case other.Exact == nil:
+	case b.Exact == nil:
+		b.Exact = other.Exact
+	default:
+		if len(other.Exact) != len(b.Exact) {
+			return fmt.Errorf("core: merging batches with different Exact lengths (%d vs %d)", len(b.Exact), len(other.Exact))
+		}
+		for i, e := range other.Exact {
+			if e {
+				b.Exact[i] = true
+			}
+		}
+	}
+	return nil
+}

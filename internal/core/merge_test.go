@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastmatch/internal/histogram"
+)
+
+// The merge contract: Batch is a mergeable value. These are property
+// tests over seeded random batches — commutativity and associativity of
+// Merge, and the ground-truth property that partition-and-merge equals a
+// single stream (SliceSampler is the oracle).
+
+// randBatch builds a random batch over nCand candidates and groups
+// groups, with integral histogram cells (the only kind samplers
+// produce).
+func randBatch(rng *rand.Rand, nCand, groups int) *Batch {
+	b := &Batch{
+		Drawn:  rng.Int63n(10_000),
+		Counts: make([]int64, nCand),
+		Hists:  make([]*histogram.Histogram, nCand),
+	}
+	for i := 0; i < nCand; i++ {
+		b.Counts[i] = rng.Int63n(500)
+		if rng.Intn(3) == 0 {
+			continue // nil histogram: candidate with no fresh samples
+		}
+		h := histogram.New(groups)
+		for g := 0; g < groups; g++ {
+			h.AddN(g, float64(rng.Intn(50)))
+		}
+		b.Hists[i] = h
+	}
+	if rng.Intn(2) == 0 {
+		b.Exact = make([]bool, nCand)
+		for i := range b.Exact {
+			b.Exact[i] = rng.Intn(4) == 0
+		}
+	}
+	b.Exhausted = rng.Intn(4) == 0
+	return b
+}
+
+// cloneBatch deep-copies a batch so Merge's ownership transfer cannot
+// alias test inputs.
+func cloneBatch(b *Batch) *Batch {
+	c := &Batch{
+		Drawn:     b.Drawn,
+		Counts:    append([]int64(nil), b.Counts...),
+		Hists:     make([]*histogram.Histogram, len(b.Hists)),
+		Exhausted: b.Exhausted,
+	}
+	for i, h := range b.Hists {
+		if h != nil {
+			c.Hists[i] = h.Clone()
+		}
+	}
+	if b.Exact != nil {
+		c.Exact = append([]bool(nil), b.Exact...)
+	}
+	return c
+}
+
+// batchEqual compares two batches bit-exactly (histogram cells via
+// Float64bits: the contract is byte-identity, not tolerance).
+func batchEqual(a, b *Batch) error {
+	if a.Drawn != b.Drawn {
+		return fmt.Errorf("Drawn %d vs %d", a.Drawn, b.Drawn)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		return fmt.Errorf("Counts length %d vs %d", len(a.Counts), len(b.Counts))
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return fmt.Errorf("Counts[%d] %d vs %d", i, a.Counts[i], b.Counts[i])
+		}
+	}
+	for i := range a.Hists {
+		ah, bh := a.Hists[i], b.Hists[i]
+		switch {
+		case ah == nil && bh == nil:
+		case ah == nil || bh == nil:
+			// A nil histogram and an all-zero histogram estimate the same
+			// thing, but merge order must not decide which one appears.
+			return fmt.Errorf("Hists[%d] nil mismatch", i)
+		default:
+			for g := 0; g < ah.Groups(); g++ {
+				if math.Float64bits(ah.Count(g)) != math.Float64bits(bh.Count(g)) {
+					return fmt.Errorf("Hists[%d].Count(%d) %v vs %v", i, g, ah.Count(g), bh.Count(g))
+				}
+			}
+		}
+	}
+	if a.Exhausted != b.Exhausted {
+		return fmt.Errorf("Exhausted %v vs %v", a.Exhausted, b.Exhausted)
+	}
+	if (a.Exact == nil) != (b.Exact == nil) {
+		return fmt.Errorf("Exact nil mismatch")
+	}
+	for i := range a.Exact {
+		if a.Exact[i] != b.Exact[i] {
+			return fmt.Errorf("Exact[%d] %v vs %v", i, a.Exact[i], b.Exact[i])
+		}
+	}
+	return nil
+}
+
+func TestBatchMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		nCand, groups := 1+rng.Intn(12), 1+rng.Intn(8)
+		a := randBatch(rng, nCand, groups)
+		b := randBatch(rng, nCand, groups)
+		// Exact-nil asymmetry is allowed by the contract (nil means "no
+		// tracking"), but when both sides track, order must not matter.
+		ab := cloneBatch(a)
+		if err := ab.Merge(cloneBatch(b)); err != nil {
+			t.Fatal(err)
+		}
+		ba := cloneBatch(b)
+		if err := ba.Merge(cloneBatch(a)); err != nil {
+			t.Fatal(err)
+		}
+		if (a.Exact == nil) != (b.Exact == nil) {
+			// Normalize the one legal asymmetry before comparing.
+			if ab.Exact == nil || ba.Exact == nil {
+				t.Fatalf("trial %d: Exact dropped by merge", trial)
+			}
+		}
+		if err := batchEqual(ab, ba); err != nil {
+			t.Fatalf("trial %d: a⊕b != b⊕a: %v", trial, err)
+		}
+	}
+}
+
+func TestBatchMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		nCand, groups := 1+rng.Intn(12), 1+rng.Intn(8)
+		a := randBatch(rng, nCand, groups)
+		b := randBatch(rng, nCand, groups)
+		c := randBatch(rng, nCand, groups)
+		left := cloneBatch(a)
+		if err := left.Merge(cloneBatch(b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(cloneBatch(c)); err != nil {
+			t.Fatal(err)
+		}
+		bc := cloneBatch(b)
+		if err := bc.Merge(cloneBatch(c)); err != nil {
+			t.Fatal(err)
+		}
+		right := cloneBatch(a)
+		if err := right.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if err := batchEqual(left, right); err != nil {
+			t.Fatalf("trial %d: (a⊕b)⊕c != a⊕(b⊕c): %v", trial, err)
+		}
+	}
+}
+
+func TestBatchMergeRejectsMismatchedDomains(t *testing.T) {
+	a := &Batch{Counts: make([]int64, 3), Hists: make([]*histogram.Histogram, 3)}
+	b := &Batch{Counts: make([]int64, 4), Hists: make([]*histogram.Histogram, 4)}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging batches over different candidate domains did not error")
+	}
+}
+
+// TestMergedPartialsMatchSliceSampler is the ground-truth property: a
+// relation partitioned into P chunks, each consumed by its own
+// SliceSampler, merged in partition order, must equal the single-stream
+// SliceSampler batch over the whole relation — Drawn, Counts, histogram
+// bits, Exhausted, all of it. This is exactly the shape of a parallel
+// sampling round (and of a future shard scatter-gather).
+func TestMergedPartialsMatchSliceSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 20; trial++ {
+		n := 200 + rng.Intn(2000)
+		nCand, groups := 1+rng.Intn(10), 1+rng.Intn(6)
+		z := make([]uint32, n)
+		x := make([]uint32, n)
+		for i := range z {
+			z[i] = uint32(rng.Intn(nCand))
+			x[i] = uint32(rng.Intn(groups))
+		}
+		single, err := NewSliceSampler(z, x, nCand, groups, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.Stage1(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Exhausted {
+			t.Fatal("single stream did not exhaust")
+		}
+
+		parts := 2 + rng.Intn(5)
+		got := &Batch{Counts: make([]int64, nCand), Hists: make([]*histogram.Histogram, nCand)}
+		lo := 0
+		for p := 0; p < parts; p++ {
+			hi := lo + (n-lo)/(parts-p)
+			if p == parts-1 {
+				hi = n
+			}
+			ps, err := NewSliceSampler(z[lo:hi], x[lo:hi], nCand, groups, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := ps.Stage1(hi - lo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Merge(pb); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		if err := batchEqual(got, want); err != nil {
+			t.Fatalf("trial %d (%d rows, %d parts): merged partials diverge from single stream: %v", trial, n, parts, err)
+		}
+	}
+}

@@ -16,11 +16,11 @@ import (
 // block layout and row permutation exactly, so any divergence is a
 // backend bug, not sampling noise.
 //
-// Determinism note: FastMatch's lookahead marker is asynchronous, so its
-// skip pattern is only reproducible when one marking window covers the
-// whole block space (the marker then runs off the initial active-set
-// snapshot before any read can change it). The suite pins
-// Lookahead ≥ NumBlocks for exactly that reason.
+// Determinism note: FastMatch's lookahead marking is synchronous and
+// deterministic for any window size (see sampler.go); the suite pins
+// Lookahead ≥ NumBlocks only so one marking window covers the whole
+// block space, the configuration the paper's Algorithm 3 measurements
+// use. parallel_equiv_test.go covers the short-window tilings.
 
 // mmapTwin writes tbl to a v2 snapshot and opens it with the mmap
 // backend.

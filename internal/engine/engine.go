@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"fastmatch/internal/bitmap"
@@ -39,12 +40,13 @@ type Query struct {
 	Measure string
 	// Filter, when set, restricts the relation to rows where it returns
 	// true (WHERE predicates beyond the candidate equality). The
-	// ParallelScan executor invokes it from several goroutines within one
-	// run, and sharing an Engine or Plan across goroutines makes
-	// concurrent runs each call it too — so unless every run using this
-	// query is sequential and non-ParallelScan, the function must be safe
-	// for concurrent calls. (Candidate-target resolution itself drops to
-	// one worker when a Filter is present.)
+	// ParallelScan executor and the sampling executors with Workers > 1
+	// invoke it from several goroutines within one run, and sharing an
+	// Engine or Plan across goroutines makes concurrent runs each call it
+	// too — so unless every run using this query is sequential,
+	// single-worker, and non-ParallelScan, the function must be safe for
+	// concurrent calls. (Candidate-target resolution itself drops to one
+	// worker when a Filter is present.)
 	Filter func(row int) bool
 }
 
@@ -79,9 +81,15 @@ type Options struct {
 	// supply a distinct Seed per run (the CLI tools seed from wall-clock
 	// time).
 	Seed int64
-	// Workers is the goroutine count for the ParallelScan executor and
-	// for parallel candidate-target resolution; ≤ 0 selects GOMAXPROCS.
-	// It does not affect the sampling executors.
+	// Workers is the goroutine count for the ParallelScan executor, for
+	// parallel candidate-target resolution, and for the block-read fan-out
+	// of the sampling executors' chunk-committed rounds (see
+	// blockSampler); ≤ 0 selects GOMAXPROCS. Sampling results are
+	// byte-identical for every worker count — Workers is purely a
+	// throughput knob there — and Workers == 1 runs the sampling round
+	// inline with no goroutines at all. The sequential Scan executor is
+	// the single-threaded exact baseline by definition and ignores
+	// Workers; ParallelScan is its parallel counterpart.
 	Workers int
 	// OnProgress, when non-nil, receives interim run state: sampling
 	// executors emit after stage 1, after every HistSim round, and after
@@ -155,6 +163,27 @@ type Result struct {
 	// GroupLabels names the histogram groups, aligned with Histogram
 	// vector indices.
 	GroupLabels []string
+	// Sampler carries per-worker sampling diagnostics (nil for the exact
+	// scan executors). It is deliberately excluded from JSON: the numbers
+	// depend on the worker count, and serialized results must stay
+	// byte-identical across Workers values. Serving layers aggregate it
+	// into metrics instead.
+	Sampler *SamplerStats `json:"-"`
+}
+
+// SamplerStats describes how a sampling run's block reads were spread
+// across workers. Unlike Result's other fields it is worker-count
+// dependent — diagnostics, not part of the answer.
+type SamplerStats struct {
+	// Workers is the effective fan-out width (after the ≤0 → GOMAXPROCS
+	// default and the chunk-size cap).
+	Workers int
+	// Chunks counts committed planner chunks across all rounds.
+	Chunks int64
+	// WorkerBlocks / WorkerTuples count blocks and tuples read by each
+	// worker, indexed by worker id.
+	WorkerBlocks []int64
+	WorkerTuples []int64
 }
 
 // Match pairs a candidate with its distance and reconstructed histogram.
@@ -344,6 +373,10 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 		}
 	}
 	bs := newBlockSampler(p.engine.src, p.cand, p.grp, p.query.Filter, opts.Executor, opts.Lookahead, start, guard)
+	bs.workers = opts.Workers
+	if bs.workers <= 0 {
+		bs.workers = runtime.GOMAXPROCS(0)
+	}
 	if !opts.DisableBlockSkip {
 		bs.skipAll = p.skipAll
 		bs.skipGrp = p.skipGrp
@@ -412,6 +445,17 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 		}
 	}
 	coreRes, err := core.RunObserved(bs, target, opts.Params, obs)
+	if traced && len(bs.wBlocks) > 1 {
+		// Per-worker sampler spans, attribute-only: phase spans already
+		// carry the run's full IO as deltas, so worker spans must not
+		// repeat it (the span tree's IO sums to Result.IO).
+		for i := range bs.wBlocks {
+			sp := runSpan.Child(fmt.Sprintf("sampler.worker%d", i))
+			sp.SetAttr("blocks", bs.wBlocks[i])
+			sp.SetAttr("tuples", bs.wTuples[i])
+			sp.End()
+		}
+	}
 	if err != nil && (coreRes == nil || !interrupted(err)) {
 		return nil, err
 	}
@@ -422,6 +466,12 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 		IO:          bs.Stats(),
 		Duration:    time.Since(began),
 		GroupLabels: groupLabels(p.grp),
+		Sampler: &SamplerStats{
+			Workers:      len(bs.wBlocks),
+			Chunks:       bs.chunks,
+			WorkerBlocks: bs.wBlocks,
+			WorkerTuples: bs.wTuples,
+		},
 	}
 	for _, rk := range coreRes.TopK {
 		res.TopK = append(res.TopK, Match{

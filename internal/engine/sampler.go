@@ -21,12 +21,13 @@ const (
 	// ScanMatch samples by scanning blocks sequentially with no skipping,
 	// terminating when HistSim's criterion holds.
 	ScanMatch
-	// SyncMatch applies AnyActive per block, synchronously, with the
-	// freshest candidate states (Algorithm 2) — no lookahead.
+	// SyncMatch applies AnyActive per block with the last-committed
+	// candidate states (Algorithm 2) — no lookahead.
 	SyncMatch
-	// FastMatch applies AnyActive with asynchronous lookahead marking
-	// (Algorithm 3): the sampling engine marks batches of blocks while the
-	// I/O manager reads, decoupling the two (§4.2 Challenge 4).
+	// FastMatch applies AnyActive with lookahead marking (Algorithm 3):
+	// marking decisions are made for whole lookahead windows ahead of the
+	// reads, decoupling the sampling engine from the I/O manager (§4.2
+	// Challenge 4).
 	FastMatch
 	// ParallelScan is the exact baseline run as N workers over disjoint
 	// block partitions with per-worker accumulators merged at a barrier;
@@ -74,8 +75,11 @@ type IOStats struct {
 	Wraps int64 `json:"wraps"`
 }
 
-// Add accumulates other into s (used by per-worker merge and by serving
-// layers aggregating per-run stats).
+// Add accumulates other into s: the mergeable-value fold for I/O
+// counters, used by the per-worker merge and by serving layers
+// aggregating per-run stats. Like core.Batch.Merge it is associative and
+// commutative (integer sums), so per-partition stats folded in any order
+// equal a single-stream count.
 func (s *IOStats) Add(other IOStats) {
 	s.BlocksRead += other.BlocksRead
 	s.BlocksSkipped += other.BlocksSkipped
@@ -84,6 +88,52 @@ func (s *IOStats) Add(other IOStats) {
 	s.KernelBlocks += other.KernelBlocks
 	s.Wraps += other.Wraps
 }
+
+// Chunk-committed parallel sampling rounds
+//
+// Every sampling pass (Stage1 and each SampleUntil round) is driven by a
+// single-threaded *planner* that walks the block permutation making every
+// policy decision — consumed-set skips, AnyActive probes, zone-map
+// virtual skips, guard/budget checks — against *committed* state only.
+// Blocks the planner decides to read are charged eagerly (Drawn, the
+// guard's row budget, the consumed set) and appended to a read list;
+// the list is dispatched to workers in chunks of samplerChunkRows-worth
+// of blocks. Workers accumulate into private mergeable partials
+// (core.Batch counts/histograms); at each chunk barrier the planner
+// commits their fresh per-candidate counts into the deficit bookkeeping,
+// and at round end the partials are merged in worker order via
+// core.Batch.Merge.
+//
+// This plan-then-read structure is what makes results byte-identical for
+// ANY worker count, including workers=1:
+//
+//   - every policy decision is made serially from committed state, so
+//     the set and order of planned blocks never depends on worker
+//     timing;
+//   - every planned block is always read (a guard stop flushes the
+//     pending chunk first), so no speculative work is ever discarded and
+//     Drawn/IOStats count exactly the committed work;
+//   - partials hold only integer-valued quantities, so the worker-order
+//     merge is exact (see core.Batch.Merge).
+//
+// The price is that adaptive decisions — round termination when deficits
+// are met, the active set AnyActive probes see — advance at chunk
+// granularity instead of row granularity: a round may read up to one
+// chunk (at most samplerChunkMaxBlocks blocks) past the point a
+// fully-serial row-fresh policy would have stopped. That granularity is
+// fixed per table (derived from the block size, never from the worker
+// count), so it is part of the deterministic contract, and the Sampler
+// interface explicitly permits the extra samples — they only sharpen the
+// cumulative estimates.
+const (
+	// samplerChunkRows sizes the commit granularity: chunks target this
+	// many rows' worth of blocks.
+	samplerChunkRows = 4096
+	// samplerChunkMinBlocks / samplerChunkMaxBlocks clamp the chunk for
+	// extreme block sizes.
+	samplerChunkMinBlocks = 4
+	samplerChunkMaxBlocks = 64
+)
 
 // blockSampler implements core.Sampler over a block-structured table. It
 // owns the I/O manager (block reads) and the sampling engine (block
@@ -106,6 +156,11 @@ type blockSampler struct {
 	blockSize int // cached: pruned blocks must not pay BlockSpan
 	rows      int
 
+	// workers is the read-fan-out width per chunk; ≤ 1 processes chunks
+	// inline on the planner goroutine (no pool, no goroutines). Results
+	// are byte-identical for every value — see the package comment above.
+	workers int
+
 	// Zone-map pruning masks (nil = no pruning). skipAll marks blocks
 	// provably free of qualifying rows for every candidate — safe to
 	// virtual-skip wherever a full read would happen (Stage1, ScanMatch).
@@ -118,21 +173,26 @@ type blockSampler struct {
 
 	// Devirtualized fast path for the dominant single-Z/single-X shape:
 	// captured code slices replace the per-row interface dispatch of
-	// groupOf/candidateOf. record() still runs per row, so deficit
-	// bookkeeping and published active sets are byte-identical.
+	// groupOf/candidateOf. Workers additionally accumulate into flat
+	// count cells (scanKernel-style) when the shape fits maxKernelCells,
+	// folded exactly at round end.
 	fastOK    bool
 	fastZ     []uint32
 	fastX     []uint32
 	fastRemap []int // nil = identity
 
-	// Round-local state shared between the I/O manager (reader) and the
-	// FastMatch marker goroutine. The reader owns deficit/unmet; the
-	// marker only reads the immutable snapshot published in activeSnap,
-	// so the hot path is lock-free (the paper's Challenge 4: marking must
-	// never block I/O).
-	deficit    []int64
-	unmet      int
-	activeSnap atomic.Pointer[[]int]
+	// Round-local deficit bookkeeping, owned by the planner. active is
+	// the committed unmet candidate set AnyActive probes and lookahead
+	// marking read; it is refreshed at chunk commits, never mid-chunk.
+	deficit []int64
+	unmet   int
+	active  []int
+
+	// Per-worker diagnostics accumulated across rounds (run-scoped, not
+	// part of the result: they are worker-count-dependent by nature).
+	wBlocks []int64
+	wTuples []int64
+	chunks  int64
 }
 
 func newBlockSampler(src colstore.Reader, cand candidateMapper, grp groupMapper,
@@ -153,6 +213,7 @@ func newBlockSampler(src colstore.Reader, cand candidateMapper, grp groupMapper,
 		mode:      mode,
 		guard:     guard,
 		lookahead: lookahead,
+		workers:   1,
 		consumed:  bitmap.NewBitset(nb),
 		cursor:    cursor,
 		exact:     make([]bool, cand.numCandidates()),
@@ -176,8 +237,9 @@ func (bs *blockSampler) Groups() int { return bs.grp.groups() }
 func (bs *blockSampler) TotalRows() int64 { return int64(bs.src.NumRows()) }
 
 // Stats returns a snapshot of the I/O counters. The counters are
-// maintained with atomics, so Stats may be called while a run is in
-// flight (e.g. by a progress monitor on another goroutine).
+// maintained with atomics (workers update them concurrently within a
+// chunk), so Stats may be called while a run is in flight (e.g. by a
+// progress monitor on another goroutine).
 func (bs *blockSampler) Stats() IOStats {
 	return IOStats{
 		BlocksRead:    atomic.LoadInt64(&bs.stats.BlocksRead),
@@ -212,22 +274,8 @@ func (bs *blockSampler) sealBatch(b *core.Batch) *core.Batch {
 // with the termination error (wrapping core.ErrInterrupted).
 func (bs *blockSampler) Stage1(m int) (*core.Batch, error) {
 	batch := bs.newBatch()
-	total := bs.src.NumBlocks()
-	for visited := 0; batch.Drawn < int64(m) && !bs.allConsumed() && visited < total; visited++ {
-		if err := bs.guard.stop(); err != nil {
-			return bs.sealBatch(batch), err
-		}
-		b := bs.advance()
-		if bs.consumed.Get(b) {
-			continue
-		}
-		if bs.skipAll != nil && bs.skipAll.Get(b) {
-			bs.skipVirtual(b, batch)
-			continue
-		}
-		bs.readBlock(b, batch)
-	}
-	return bs.sealBatch(batch), nil
+	err := bs.runRound(batch, m)
+	return bs.sealBatch(batch), err
 }
 
 // skipVirtual consumes a stats-pruned block without reading it. Every
@@ -254,8 +302,30 @@ func (bs *blockSampler) skipVirtual(b int, batch *core.Batch) {
 	atomic.AddInt64(&bs.stats.BlocksPruned, 1)
 }
 
+// chargeBlock commits the decision to read block b: its rows are charged
+// to the batch and the guard, and the block marked consumed, before any
+// worker touches it. Planned work is never abandoned (a guard stop
+// flushes the pending chunk), so eager charging keeps Drawn and budget
+// accounting identical to a fully-serial read-then-charge loop.
+func (bs *blockSampler) chargeBlock(b int, batch *core.Batch) {
+	lo := b * bs.blockSize
+	hi := lo + bs.blockSize
+	if hi > bs.rows {
+		hi = bs.rows
+	}
+	batch.Drawn += int64(hi - lo)
+	bs.guard.addRows(int64(hi - lo))
+	bs.consumed.Set(b)
+	bs.consCnt++
+}
+
 // SampleUntil implements core.Sampler with the executor's block policy.
 func (bs *blockSampler) SampleUntil(need map[int]int) (*core.Batch, error) {
+	switch bs.mode {
+	case Scan, ScanMatch, SyncMatch, FastMatch:
+	default:
+		return nil, fmt.Errorf("engine: unknown executor %v", bs.mode)
+	}
 	batch := bs.newBatch()
 	bs.unmet = 0
 	for i := range bs.deficit {
@@ -273,19 +343,8 @@ func (bs *blockSampler) SampleUntil(need map[int]int) (*core.Batch, error) {
 	if bs.unmet == 0 {
 		return bs.sealBatch(batch), nil
 	}
-	bs.publishActive()
-	var stopErr error
-	switch bs.mode {
-	case ScanMatch, Scan:
-		stopErr = bs.runSequential(batch, false)
-	case SyncMatch:
-		stopErr = bs.runSequential(batch, true)
-	case FastMatch:
-		stopErr = bs.runLookahead(batch)
-	default:
-		return nil, fmt.Errorf("engine: unknown executor %v", bs.mode)
-	}
-	if stopErr != nil {
+	bs.refreshActive()
+	if stopErr := bs.runRound(batch, -1); stopErr != nil {
 		// Interrupted mid-pass: the exactness inference below needs a
 		// completed pass, so skip it and hand the partial batch up.
 		return bs.sealBatch(batch), stopErr
@@ -303,15 +362,14 @@ func (bs *blockSampler) SampleUntil(need map[int]int) (*core.Batch, error) {
 	return bs.sealBatch(batch), nil
 }
 
-// publishActive snapshots the unmet candidate ids for the marker.
-func (bs *blockSampler) publishActive() {
-	active := make([]int, 0, bs.unmet)
+// refreshActive rebuilds the committed unmet candidate set.
+func (bs *blockSampler) refreshActive() {
+	bs.active = bs.active[:0]
 	for id, d := range bs.deficit {
 		if d > 0 {
-			active = append(active, id)
+			bs.active = append(bs.active, id)
 		}
 	}
-	bs.activeSnap.Store(&active)
 }
 
 // advance returns the current cursor block and moves the cursor.
@@ -325,118 +383,146 @@ func (bs *blockSampler) advance() int {
 	return b
 }
 
-// runSequential drives ScanMatch (anyActive=false: read everything) and
-// SyncMatch (anyActive=true: per-block probe with freshest active set).
-// It returns the guard's termination error, or nil for a completed pass.
-func (bs *blockSampler) runSequential(batch *core.Batch, anyActive bool) error {
-	total := bs.src.NumBlocks()
-	for visited := 0; visited < total && bs.unmet > 0 && !bs.allConsumed(); visited++ {
-		if err := bs.guard.stop(); err != nil {
-			return err
-		}
-		b := bs.advance()
-		if bs.consumed.Get(b) {
-			continue
-		}
-		if anyActive {
-			// Algorithm 2: probe each active candidate's bitmap for this
-			// single block — the cache-hostile pattern SyncMatch models —
-			// with the freshest possible active set.
-			if !bs.cand.blockAnyActive(*bs.activeSnap.Load(), b) {
-				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
-				continue
-			}
-			// Group-prunable blocks only: candidate-prunable ones were
-			// already rejected (without sample accounting) by AnyActive.
-			if bs.skipGrp != nil && bs.skipGrp.Get(b) {
-				bs.skipVirtual(b, batch)
-				continue
-			}
-		} else if bs.skipAll != nil && bs.skipAll.Get(b) {
-			bs.skipVirtual(b, batch)
-			continue
-		}
-		bs.readBlock(b, batch)
+// chunkBlocks derives the commit granularity from the block size alone —
+// never from the worker count, which must not influence any decision.
+func (bs *blockSampler) chunkBlocks() int {
+	if bs.blockSize <= 0 {
+		return samplerChunkMinBlocks
 	}
-	return nil
+	c := samplerChunkRows / bs.blockSize
+	if c < samplerChunkMinBlocks {
+		c = samplerChunkMinBlocks
+	}
+	if c > samplerChunkMaxBlocks {
+		c = samplerChunkMaxBlocks
+	}
+	return c
 }
 
-// window is one lookahead batch of marking decisions handed from the
-// sampling engine's marker to the I/O manager (Figure 7).
-type window struct {
-	start int
-	mark  []bool
-}
-
-// runLookahead drives FastMatch: a marker goroutine applies AnyActive to
-// lookahead-sized chunks of upcoming blocks (Algorithm 3) while the
-// calling goroutine — the I/O manager — reads previously marked blocks.
-// The marker works from published active-set snapshots; staleness is safe
-// because the deficit set only shrinks within a round, so a stale mark is
-// a superset of what the freshest state would mark.
-//
-// It returns the guard's termination error, or nil for a completed pass.
-// Every return path — completion, termination, guard stop — closes done
-// and joins the marker goroutine first, so a canceled run never leaves a
-// marker probing indexes (or pinning a live-table view) behind it.
-func (bs *blockSampler) runLookahead(batch *core.Batch) error {
+// runRound is the unified planner/committer for one sampling pass.
+// stage1Need ≥ 0 selects stage-1 mode: sequential reads (no AnyActive)
+// until Drawn reaches stage1Need. stage1Need < 0 selects deficit mode:
+// the executor's block policy until every deficit is met (at chunk
+// granularity) or the pass completes. Returns the guard's termination
+// error, or nil for a completed pass; on error the pending chunk has
+// been flushed and the batch holds every committed sample.
+func (bs *blockSampler) runRound(batch *core.Batch, stage1Need int) error {
 	total := bs.src.NumBlocks()
 	if total == 0 {
 		return nil
 	}
-	windows := make(chan window, 2)
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
+	stage1 := stage1Need >= 0
+	chunkCap := bs.chunkBlocks()
+	workers := bs.workers
+	if workers > chunkCap {
+		workers = chunkCap
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ws := bs.newWorkers(workers)
 
-	// Sampling engine: marker thread.
-	go func() {
-		defer wg.Done()
-		defer close(windows)
-		pos := bs.cursor
-		marked := 0
-		for marked < total {
-			n := bs.lookahead
-			if n > total-marked {
-				n = total - marked
-			}
-			active := *bs.activeSnap.Load()
-			if len(active) == 0 {
-				return
-			}
-			w := window{start: pos, mark: make([]bool, n)}
-			if w.start+n <= total {
-				bs.cand.markAnyActive(active, w.start, w.mark)
-			} else {
-				// Wrap-around: mark the tail and head segments separately.
-				tail := total - w.start
-				bs.cand.markAnyActive(active, w.start, w.mark[:tail])
-				bs.cand.markAnyActive(active, 0, w.mark[tail:])
-			}
-			select {
-			case windows <- w:
-			case <-done:
-				return
-			}
-			pos = (pos + n) % total
-			marked += n
+	// The per-round worker pool: spawned once per round (not per chunk),
+	// joined on every return path so a canceled run never leaves readers
+	// behind (the same discipline the old lookahead marker had).
+	var tasks chan samplerTask
+	var acks chan struct{}
+	if workers > 1 {
+		tasks = make(chan samplerTask)
+		acks = make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range tasks {
+					t.w.process(t.blocks)
+					acks <- struct{}{}
+				}
+			}()
 		}
-	}()
+		defer func() { close(tasks); wg.Wait() }()
+	}
 
-	// I/O manager: read marked blocks.
-	visited := 0
+	readBuf := make([]int, 0, chunkCap)
+	flush := func() {
+		n := len(readBuf)
+		if n == 0 {
+			return
+		}
+		if workers == 1 || n < 2 {
+			ws[0].process(readBuf)
+		} else {
+			p := workers
+			if p > n {
+				p = n
+			}
+			for i := 0; i < p; i++ {
+				tasks <- samplerTask{w: ws[i], blocks: readBuf[i*n/p : (i+1)*n/p]}
+			}
+			for i := 0; i < p; i++ {
+				<-acks
+			}
+		}
+		bs.commitChunk(ws)
+		readBuf = readBuf[:0]
+	}
+
+	// FastMatch lookahead window state: marking decisions are computed
+	// for lookahead-sized tilings of the round's cursor walk (Algorithm
+	// 3), each window marked in one bulk AnyActive pass from the active
+	// set committed when the planner crosses into it. Marks within a
+	// window are stale by up to the window length — safe because the
+	// deficit set only shrinks within a round, so a stale mark is a
+	// superset of what fresher state would mark.
+	var mark []bool
+	winPos, winLeft := 0, 0
+
 	var stopErr error
-readLoop:
-	for w := range windows {
-		for i, marked := range w.mark {
-			if stopErr = bs.guard.stop(); stopErr != nil {
-				break readLoop
+	for visited := 0; visited < total; visited++ {
+		if stage1 {
+			if batch.Drawn >= int64(stage1Need) {
+				break
 			}
-			if visited >= total || bs.unmet == 0 || bs.allConsumed() {
-				break readLoop
+		} else if bs.unmet == 0 {
+			break
+		}
+		if bs.allConsumed() {
+			break
+		}
+		if stopErr = bs.guard.stop(); stopErr != nil {
+			break
+		}
+		b := bs.advance()
+		switch {
+		case !stage1 && bs.mode == FastMatch:
+			if winLeft == 0 {
+				n := bs.lookahead
+				if n > total-visited {
+					n = total - visited
+				}
+				if cap(mark) < n {
+					mark = make([]bool, n)
+				} else {
+					mark = mark[:n]
+					for i := range mark {
+						mark[i] = false
+					}
+				}
+				if b+n <= total {
+					bs.cand.markAnyActive(bs.active, b, mark)
+				} else {
+					// Wrap-around: mark the tail and head segments
+					// separately.
+					tail := total - b
+					bs.cand.markAnyActive(bs.active, b, mark[:tail])
+					bs.cand.markAnyActive(bs.active, 0, mark[tail:])
+				}
+				winPos, winLeft = 0, n
 			}
-			visited++
-			b := (w.start + i) % total
+			marked := mark[winPos]
+			winPos++
+			winLeft--
 			if bs.consumed.Get(b) {
 				continue
 			}
@@ -448,22 +534,95 @@ readLoop:
 				bs.skipVirtual(b, batch)
 				continue
 			}
-			bs.readBlock(b, batch)
+		case !stage1 && bs.mode == SyncMatch:
+			if bs.consumed.Get(b) {
+				continue
+			}
+			// Algorithm 2: probe each active candidate's bitmap for this
+			// single block — the cache-hostile pattern SyncMatch models —
+			// with the last-committed active set.
+			if !bs.cand.blockAnyActive(bs.active, b) {
+				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
+				continue
+			}
+			// Group-prunable blocks only: candidate-prunable ones were
+			// already rejected (without sample accounting) by AnyActive.
+			if bs.skipGrp != nil && bs.skipGrp.Get(b) {
+				bs.skipVirtual(b, batch)
+				continue
+			}
+		default: // stage 1, ScanMatch, Scan: read everything not pruned
+			if bs.consumed.Get(b) {
+				continue
+			}
+			if bs.skipAll != nil && bs.skipAll.Get(b) {
+				bs.skipVirtual(b, batch)
+				continue
+			}
+		}
+		bs.chargeBlock(b, batch)
+		readBuf = append(readBuf, b)
+		if len(readBuf) >= chunkCap {
+			flush()
 		}
 	}
-	close(done)
-	wg.Wait()
-	// Keep the shared cursor roughly where reading stopped so later
-	// stages continue from fresh blocks.
-	bs.cursor = (bs.cursor + visited) % total
+	flush()
+	bs.foldWorkers(batch, ws)
 	return stopErr
 }
 
+// commitChunk folds each worker's fresh per-chunk counts into the
+// deficit bookkeeping, in worker order. Runs on the planner goroutine at
+// a chunk barrier — no worker is in flight.
+func (bs *blockSampler) commitChunk(ws []*samplerWorker) {
+	changed := false
+	for _, w := range ws {
+		for _, id := range w.touched {
+			c := w.cnt[id]
+			w.counts[id] += c
+			w.cnt[id] = 0
+			if d := bs.deficit[id]; d > 0 {
+				if c >= d {
+					bs.deficit[id] = 0
+					bs.unmet--
+					changed = true
+				} else {
+					bs.deficit[id] = d - c
+				}
+			}
+		}
+		w.touched = w.touched[:0]
+	}
+	if changed {
+		bs.refreshActive()
+	}
+	bs.chunks++
+}
+
+// foldWorkers merges the per-worker round partials into the round batch
+// in worker order (core.Batch.Merge: exact integer sums, so the merged
+// batch is byte-identical for any worker count) and accumulates the
+// per-worker diagnostics.
+func (bs *blockSampler) foldWorkers(batch *core.Batch, ws []*samplerWorker) {
+	if bs.wBlocks == nil {
+		bs.wBlocks = make([]int64, len(ws))
+		bs.wTuples = make([]int64, len(ws))
+	}
+	for i, w := range ws {
+		if err := batch.Merge(w.roundBatch()); err != nil {
+			panic(err) // candidate domains match by construction
+		}
+		if i < len(bs.wBlocks) {
+			bs.wBlocks[i] += w.blocks
+			bs.wTuples[i] += w.tuples
+		}
+	}
+}
+
 // initFastPath captures direct code slices for the single-Z/single-X
-// query shape so readBlock bypasses per-row interface dispatch. The
-// record sequence is unchanged — same calls, same order — so batches,
-// deficits, and published active sets are byte-identical to the
-// generic path.
+// query shape so workers bypass per-row interface dispatch. The per-row
+// accumulation sequence is value-identical to the generic path, so
+// batches, deficits, and committed active sets are byte-identical.
 func (bs *blockSampler) initFastPath() {
 	if bs.filter != nil || bs.multi != nil {
 		return
@@ -482,77 +641,166 @@ func (bs *blockSampler) initFastPath() {
 	bs.fastRemap = cc.remap
 }
 
-// readBlock consumes block b: every row is drawn, candidate and group
-// mapped, and the batch and deficit updated. Caller ensures b is
-// unconsumed.
-func (bs *blockSampler) readBlock(b int, batch *core.Batch) {
-	lo, hi := bs.src.BlockSpan(b)
-	if bs.fastOK {
-		// Devirtualized kernel: single categorical group (groupOf is the
-		// X code, never negative) and column candidates (candidateOf is
-		// the Z code, remapped when a known-candidate domain is set,
-		// always ≥ 0 by construction — unassigned values map to the
-		// dummy). Drawn is bulk-charged up front; within a block nothing
-		// reads it.
-		batch.Drawn += int64(hi - lo)
-		if bs.fastRemap == nil {
-			for row := lo; row < hi; row++ {
-				bs.record(int(bs.fastZ[row]), int(bs.fastX[row]), batch)
-			}
-		} else {
-			for row := lo; row < hi; row++ {
-				bs.record(bs.fastRemap[bs.fastZ[row]], int(bs.fastX[row]), batch)
-			}
-		}
-		atomic.AddInt64(&bs.stats.TuplesRead, int64(hi-lo))
-		atomic.AddInt64(&bs.stats.KernelBlocks, 1)
-		bs.guard.addRows(int64(hi - lo))
-		bs.consumed.Set(b)
-		bs.consCnt++
-		atomic.AddInt64(&bs.stats.BlocksRead, 1)
-		return
-	}
-	var multiBuf []int
-	for row := lo; row < hi; row++ {
-		batch.Drawn++
-		if bs.filter != nil && !bs.filter(row) {
-			continue
-		}
-		g := bs.grp.groupOf(row)
-		if g < 0 {
-			continue
-		}
-		if bs.multi != nil {
-			multiBuf = bs.multi.candidatesOf(row, multiBuf[:0])
-			for _, id := range multiBuf {
-				bs.record(id, g, batch)
-			}
-			continue
-		}
-		if id := bs.cand.candidateOf(row); id >= 0 {
-			bs.record(id, g, batch)
-		}
-	}
-	atomic.AddInt64(&bs.stats.TuplesRead, int64(hi-lo))
-	bs.guard.addRows(int64(hi - lo))
-	bs.consumed.Set(b)
-	bs.consCnt++
-	atomic.AddInt64(&bs.stats.BlocksRead, 1)
+// samplerTask is one worker's share of a chunk's read list.
+type samplerTask struct {
+	w      *samplerWorker
+	blocks []int
 }
 
-func (bs *blockSampler) record(id, g int, batch *core.Batch) {
-	if batch.Hists[id] == nil {
-		batch.Hists[id] = histogram.New(bs.grp.groups())
+// samplerWorker is one worker's private accumulation state for a round:
+// a mergeable partial (counts + histograms, merged at round end) plus
+// the per-chunk fresh counts the planner commits at each barrier.
+// Workers share no mutable state — they read immutable plan data, write
+// their own fields, and bump the sampler's atomic I/O counters.
+type samplerWorker struct {
+	bs     *blockSampler
+	groups int
+	// counts/hists are the round-cumulative mergeable partial.
+	counts []int64
+	hists  []*histogram.Histogram
+	// acc is the flat scanKernel-style cell array [cand*groups+group],
+	// non-nil only for the devirtualized single/single shape within the
+	// kernel cell cap; folded exactly into hists at round end.
+	acc []int64
+	// cnt/touched are the per-chunk fresh counts, reset at each commit.
+	cnt     []int64
+	touched []int
+	// blocks/tuples are per-worker diagnostics.
+	blocks   int64
+	tuples   int64
+	multiBuf []int
+}
+
+// newWorkers allocates the round's worker states. The flat-cell kernel
+// path needs fastOK (shape + kernels enabled) and a cell array within
+// the scan kernels' cap.
+func (bs *blockSampler) newWorkers(n int) []*samplerWorker {
+	nc := bs.cand.numCandidates()
+	groups := bs.grp.groups()
+	kernel := bs.fastOK && nc > 0 && groups > 0 && nc*groups <= maxKernelCells
+	ws := make([]*samplerWorker, n)
+	for i := range ws {
+		w := &samplerWorker{
+			bs:     bs,
+			groups: groups,
+			counts: make([]int64, nc),
+			hists:  make([]*histogram.Histogram, nc),
+			cnt:    make([]int64, nc),
+		}
+		if kernel {
+			w.acc = make([]int64, nc*groups)
+		}
+		ws[i] = w
 	}
-	batch.Hists[id].Add(g)
-	batch.Counts[id]++
-	if d := bs.deficit[id]; d > 0 {
-		bs.deficit[id] = d - 1
-		if d == 1 {
-			bs.unmet--
-			bs.publishActive()
+	return ws
+}
+
+// process reads the given blocks, accumulating into the worker's private
+// state. Runs on a pool goroutine (or inline for workers=1); the only
+// shared writes are the atomic I/O counters.
+func (w *samplerWorker) process(blocks []int) {
+	bs := w.bs
+	groups := w.groups
+	for _, b := range blocks {
+		lo, hi := bs.src.BlockSpan(b)
+		switch {
+		case w.acc != nil:
+			if bs.fastRemap == nil {
+				for row := lo; row < hi; row++ {
+					z := int(bs.fastZ[row])
+					w.acc[z*groups+int(bs.fastX[row])]++
+					if w.cnt[z] == 0 {
+						w.touched = append(w.touched, z)
+					}
+					w.cnt[z]++
+				}
+			} else {
+				for row := lo; row < hi; row++ {
+					z := bs.fastRemap[bs.fastZ[row]]
+					w.acc[z*groups+int(bs.fastX[row])]++
+					if w.cnt[z] == 0 {
+						w.touched = append(w.touched, z)
+					}
+					w.cnt[z]++
+				}
+			}
+			atomic.AddInt64(&bs.stats.KernelBlocks, 1)
+		case bs.fastOK:
+			// Devirtualized but above the kernel cell cap: per-row
+			// histogram accumulation on captured code slices.
+			if bs.fastRemap == nil {
+				for row := lo; row < hi; row++ {
+					w.record(int(bs.fastZ[row]), int(bs.fastX[row]))
+				}
+			} else {
+				for row := lo; row < hi; row++ {
+					w.record(bs.fastRemap[bs.fastZ[row]], int(bs.fastX[row]))
+				}
+			}
+			atomic.AddInt64(&bs.stats.KernelBlocks, 1)
+		default:
+			for row := lo; row < hi; row++ {
+				if bs.filter != nil && !bs.filter(row) {
+					continue
+				}
+				g := bs.grp.groupOf(row)
+				if g < 0 {
+					continue
+				}
+				if bs.multi != nil {
+					// All-matches membership: a predicate candidate's
+					// histogram includes every row satisfying it, even
+					// rows an earlier overlapping predicate also matched.
+					w.multiBuf = bs.multi.candidatesOf(row, w.multiBuf[:0])
+					for _, id := range w.multiBuf {
+						w.record(id, g)
+					}
+					continue
+				}
+				if id := bs.cand.candidateOf(row); id >= 0 {
+					w.record(id, g)
+				}
+			}
+		}
+		n := int64(hi - lo)
+		w.blocks++
+		w.tuples += n
+		atomic.AddInt64(&bs.stats.TuplesRead, n)
+		atomic.AddInt64(&bs.stats.BlocksRead, 1)
+	}
+}
+
+func (w *samplerWorker) record(id, g int) {
+	if w.hists[id] == nil {
+		w.hists[id] = histogram.New(w.groups)
+	}
+	w.hists[id].Add(g)
+	if w.cnt[id] == 0 {
+		w.touched = append(w.touched, id)
+	}
+	w.cnt[id]++
+}
+
+// roundBatch materializes the worker's mergeable partial. The flat cell
+// array folds via AddN with integral counts — bit-identical to per-row
+// Add accumulation.
+func (w *samplerWorker) roundBatch() *core.Batch {
+	if w.acc != nil {
+		for id, c := range w.counts {
+			if c == 0 {
+				continue
+			}
+			h := histogram.New(w.groups)
+			base := id * w.groups
+			for g := 0; g < w.groups; g++ {
+				if n := w.acc[base+g]; n != 0 {
+					h.AddN(g, float64(n))
+				}
+			}
+			w.hists[id] = h
 		}
 	}
+	return &core.Batch{Counts: w.counts, Hists: w.hists}
 }
 
 // candidateExhausted reports whether every block containing candidate i

@@ -429,3 +429,74 @@ func TestTraceRingOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestSamplerWorkerCountersAndWireByteIdentity drives the same sampling
+// query at workers=1 and workers=4 and checks (a) the response payloads
+// are byte-identical — the engine's worker-count determinism contract
+// holds over the wire — and (b) the per-worker sampler counters show up
+// in /v1/stats and /metrics, agreeing with each other.
+func TestSamplerWorkerCountersAndWireByteIdentity(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+
+	one := baseRequest(55, "syncmatch")
+	one.Options.Workers = intp(1)
+	four := baseRequest(55, "syncmatch")
+	four.Options.Workers = intp(4)
+
+	code, repOne := postQuery(t, ts.URL, one)
+	if code != http.StatusOK {
+		t.Fatalf("workers=1 query: %d", code)
+	}
+	code, repFour := postQuery(t, ts.URL, four)
+	if code != http.StatusOK {
+		t.Fatalf("workers=4 query: %d", code)
+	}
+	if repFour.Cached {
+		t.Fatal("workers=4 served from cache: worker count should be a distinct fingerprint")
+	}
+	if !bytes.Equal(repOne.Result, repFour.Result) {
+		t.Fatalf("workers=4 result diverges from workers=1:\n%s\nvs\n%s", repFour.Result, repOne.Result)
+	}
+
+	tm := getStats(t, ts.URL).Tables["fixture"]
+	if tm.SamplerRuns < 2 {
+		t.Fatalf("SamplerRuns = %d, want >= 2", tm.SamplerRuns)
+	}
+	if tm.SamplerParallelRuns < 1 {
+		t.Fatalf("SamplerParallelRuns = %d, want >= 1", tm.SamplerParallelRuns)
+	}
+	if tm.SamplerChunks <= 0 {
+		t.Fatal("no sampler chunks recorded")
+	}
+	if len(tm.SamplerWorkerBlocks) < 2 {
+		t.Fatalf("per-worker counters track %d workers, want >= 2", len(tm.SamplerWorkerBlocks))
+	}
+	var blocks, tuples int64
+	for i := range tm.SamplerWorkerBlocks {
+		blocks += tm.SamplerWorkerBlocks[i]
+		tuples += tm.SamplerWorkerTuples[i]
+	}
+	// Every executed run was a sampling run, so the per-worker sums must
+	// account for the table's full I/O.
+	if blocks != tm.IO.BlocksRead {
+		t.Fatalf("worker blocks sum %d != BlocksRead %d", blocks, tm.IO.BlocksRead)
+	}
+	if tuples != tm.IO.TuplesRead {
+		t.Fatalf("worker tuples sum %d != TuplesRead %d", tuples, tm.IO.TuplesRead)
+	}
+
+	samples, doc := scrapeMetrics(t, ts.URL)
+	if got := samples[`fastmatch_sampler_parallel_runs_total{table="fixture"}`]; got != float64(tm.SamplerParallelRuns) {
+		t.Fatalf("fastmatch_sampler_parallel_runs_total = %g, /v1/stats says %d\n%s", got, tm.SamplerParallelRuns, doc)
+	}
+	for i, want := range tm.SamplerWorkerBlocks {
+		series := fmt.Sprintf(`fastmatch_sampler_worker_blocks_total{table="fixture",worker="%d"}`, i)
+		got, found := samples[series]
+		if !found {
+			t.Fatalf("series %q absent from /metrics", series)
+		}
+		if got != float64(want) {
+			t.Fatalf("%s = %g, /v1/stats says %d", series, got, want)
+		}
+	}
+}

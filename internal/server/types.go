@@ -99,8 +99,13 @@ type OptionsSpec struct {
 	StartBlock *int   `json:"start_block,omitempty"`
 	// Seed fixes the run's random start block; identical seeded requests
 	// produce identical results (and hit the result cache).
-	Seed    *int64 `json:"seed,omitempty"`
-	Workers *int   `json:"workers,omitempty"`
+	Seed *int64 `json:"seed,omitempty"`
+	// Workers sets the run's intra-node fan-out (ParallelScan partitions,
+	// sampling-round read workers). Sampling results are byte-identical
+	// for any value — it is a throughput knob, not a semantic one —
+	// though it participates in the options fingerprint, so different
+	// worker counts are distinct result-cache keys.
+	Workers *int `json:"workers,omitempty"`
 	// RowBudget caps the tuples the run may read; exhausting it returns
 	// a best-effort partial result (Partial set in the payload).
 	RowBudget *int64 `json:"row_budget,omitempty"`
