@@ -33,10 +33,18 @@
 // fresh directories), seal=N (segment seal granularity in rows), and
 // block=N (block size). Every table accepts timeout=DUR (per-request
 // query timeout for this table, e.g. timeout=2s; overrides
-// -query-timeout, timeout=-1ms disables), and static tables accept
-// blockdelay=DUR (artificial per-block read latency — a storage-latency
-// simulator for demonstrating progressive delivery and cancellation).
-// CSV and ingest measure columns are named with -measures table:col1,col2.
+// -query-timeout, timeout=-1ms disables) and audit=F (fraction of this
+// table's completed sampling-executor answers to shadow-audit against an
+// exact re-execution; overrides -audit-fraction, audit=-1 disables), and
+// static tables accept blockdelay=DUR (artificial per-block read latency
+// — a storage-latency simulator for demonstrating progressive delivery
+// and cancellation). CSV and ingest measure columns are named with
+// -measures table:col1,col2.
+//
+// Answer-quality observability: "quality": true on a query returns the
+// run's convergence report next to the result; shadow-audit verdicts and
+// recent quality reports are served at GET /v1/debug/quality and feed
+// the fastmatch_quality_*/fastmatch_audit_* Prometheus families.
 //
 // Progressive queries: POST /v1/query/stream answers with NDJSON — one
 // progress frame per HistSim round, then a terminal result frame
@@ -78,6 +86,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	slowQueryMS := flag.Int64("slow-query-ms", 0, "slow-query threshold in milliseconds; requests at or past it log their full span tree at warn level (0 = off)")
 	traceRing := flag.Int("trace-ring", 32, "slowest recent traces kept for GET /v1/debug/traces (negative disables)")
+	auditFraction := flag.Float64("audit-fraction", 0, "fraction of completed sampling-executor answers to shadow-audit against an exact re-execution (0 = off, 1 = every answer; per-table audit= overrides)")
+	qualityRing := flag.Int("quality-ring", 32, "recent answer-quality records kept for GET /v1/debug/quality (negative disables)")
 
 	var tables []server.TableSpec
 	flag.Func("table", "dataset to serve, as name=path, name=path?backend=mmap, or name=dir?backend=ingest&columns=a,b (repeatable)", func(v string) error {
@@ -93,9 +103,9 @@ func main() {
 			}
 			for k := range opts {
 				switch k {
-				case "backend", "columns", "seal", "block", "timeout", "blockdelay":
+				case "backend", "columns", "seal", "block", "timeout", "blockdelay", "audit":
 				default:
-					return fmt.Errorf("table %q: unknown option %q (want backend, columns, seal, block, timeout, or blockdelay)", name, k)
+					return fmt.Errorf("table %q: unknown option %q (want backend, columns, seal, block, timeout, blockdelay, or audit)", name, k)
 				}
 			}
 			spec.Path = base
@@ -135,6 +145,13 @@ func main() {
 					return fmt.Errorf("table %q: bad blockdelay=%q", name, s)
 				}
 				spec.BlockDelayUS = d.Microseconds()
+			}
+			if s := opts.Get("audit"); s != "" {
+				f, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return fmt.Errorf("table %q: bad audit=%q: %v", name, s, err)
+				}
+				spec.AuditFraction = &f
 			}
 		}
 		tables = append(tables, spec)
@@ -178,6 +195,8 @@ func main() {
 		Logger:          logger,
 		SlowQuery:       time.Duration(*slowQueryMS) * time.Millisecond,
 		TraceRingSize:   *traceRing,
+		AuditFraction:   *auditFraction,
+		QualityRingSize: *qualityRing,
 	})
 	for _, spec := range tables {
 		spec.Measures = measures[spec.Name]

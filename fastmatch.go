@@ -55,6 +55,7 @@
 package fastmatch
 
 import (
+	"context"
 	"time"
 
 	"fastmatch/internal/colstore"
@@ -143,6 +144,24 @@ type (
 	TraceSnapshot = trace.Snapshot
 	// TraceSpan is one span in a TraceSnapshot.
 	TraceSpan = trace.SpanSnapshot
+	// QualityReport is a completed sampling run's answer-quality
+	// self-assessment — rounds, final margin, per-match confidence
+	// intervals, termination cause — collected when Options.Quality is
+	// set; see Result.Quality.
+	QualityReport = engine.QualityReport
+	// MatchQuality is one returned match's estimate quality (estimated
+	// distance plus CI half-width) inside a QualityReport.
+	MatchQuality = engine.MatchQuality
+	// ProgressQuality is the per-round convergence telemetry carried on
+	// Progress when Options.Quality is set.
+	ProgressQuality = engine.ProgressQuality
+	// Audit is AuditRun's ground-truth verdict: precision@k, rank
+	// displacement, and per-candidate distance error for a completed
+	// approximate answer.
+	Audit = engine.Audit
+	// AuditCandidate is one candidate's approximate-vs-exact comparison
+	// inside an Audit.
+	AuditCandidate = engine.AuditCandidate
 )
 
 // Executor variants, in increasing sophistication (§5.2 of the paper).
@@ -196,6 +215,18 @@ type (
 	// response: progress frames, then one terminal result/error frame.
 	StreamFrame = server.StreamFrame
 )
+
+// AuditRun grades a completed approximate answer against ground truth:
+// it re-executes the prepared plan with the exact Scan executor over
+// every candidate and reports strict precision@k, per-candidate rank
+// displacement and distance error, and how many returned matches
+// violate the (ε, δ) guarantee the sampling run claimed. Partial
+// answers are refused — they claimed no guarantee, so there is nothing
+// to indict. This is the primitive behind the server's shadow-audit
+// sampler (ServerConfig.AuditFraction).
+func AuditRun(ctx context.Context, p *Plan, target *Histogram, approx *Result, opts Options) (*Audit, error) {
+	return engine.AuditRun(ctx, p, target, approx, opts)
+}
 
 // NewThrottledReader wraps a storage backend so every block read costs
 // at least perBlock of wall-clock time — a storage-latency simulator for

@@ -30,6 +30,9 @@ type Result struct {
 	Partial bool
 	// Stats carries run diagnostics.
 	Stats RunStats
+	// Quality is the answer-quality report, present only when
+	// Params.CollectQuality was set (nil otherwise).
+	Quality *Quality
 }
 
 // RunStats summarizes the work a HistSim run performed.
@@ -81,6 +84,10 @@ type state struct {
 	drawn int64                  // cumulative tuples drawn (for sel estimates)
 	res   *Result
 	need  map[int]int // reusable need map
+
+	// Quality-telemetry accumulators (used only when CollectQuality).
+	prevTop map[int]bool // previous emission's top-k membership
+	qChurn  int          // total churn across emissions
 }
 
 // Run executes HistSim against the sampler for the given visual target.
@@ -146,6 +153,9 @@ func RunObserved(s Sampler, target *histogram.Histogram, p Params, obs Observer)
 	}
 	if exhausted {
 		st.finishExact()
+		if p.CollectQuality {
+			st.res.Quality = st.buildQuality(false)
+		}
 		return st.res, nil
 	}
 	if err := st.stage3(); err != nil {
@@ -155,6 +165,9 @@ func RunObserved(s Sampler, target *histogram.Histogram, p Params, obs Observer)
 		return nil, err
 	}
 	st.emit("stage3", 0)
+	if p.CollectQuality {
+		st.res.Quality = st.buildQuality(false)
+	}
 	return st.res, nil
 }
 

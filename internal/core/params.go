@@ -43,6 +43,12 @@ type Params struct {
 	// Exhausting the data always terminates the algorithm first in
 	// practice, since the per-round sample demand grows geometrically.
 	MaxRounds int
+	// CollectQuality enables answer-quality telemetry: per-round
+	// convergence snapshots (Snapshot.Quality) and the final
+	// Result.Quality report. Purely observational — it never changes the
+	// answer, the sampling schedule, or the I/O — so engine fingerprints
+	// exclude it; when false (the default) no quality work runs at all.
+	CollectQuality bool
 	// RoundBudget bounds the I/O of early stage-2 rounds: round t's
 	// per-candidate demands n'_i are clamped so that satisfying them is
 	// expected to scan about RoundBudget·2^(t−1) tuples, using the

@@ -33,6 +33,10 @@ type Snapshot struct {
 	ActiveCandidates int
 	// Drawn is the cumulative tuples consumed so far.
 	Drawn int64
+	// Quality is the emission's convergence telemetry, present only when
+	// Params.CollectQuality is set (nil otherwise). Its TopK entries are
+	// aligned with Snapshot.TopK.
+	Quality *RoundQuality
 }
 
 // Observer receives interim snapshots during a run. It is called
@@ -41,11 +45,12 @@ type Snapshot struct {
 // fast and must not block. A nil Observer costs nothing.
 type Observer func(Snapshot)
 
-// emit reports the current state to the observer, if any. The interim
-// ranking covers only observed candidates, for the same reason salvage
-// does: an empty estimate reads as uniform, not as unknown.
+// emit reports the current state to the observer, if any, and advances
+// the quality accumulators when collection is on. The interim ranking
+// covers only observed candidates, for the same reason salvage does: an
+// empty estimate reads as uniform, not as unknown.
 func (st *state) emit(phase string, round int) {
-	if st.obs == nil {
+	if st.obs == nil && !st.params.CollectQuality {
 		return
 	}
 	st.refreshTau()
@@ -57,12 +62,23 @@ func (st *state) emit(phase string, round int) {
 	if st.params.KRange.KMax > 0 {
 		k = st.params.KRange.KMax
 	}
+	top := histogram.TopK(st.tau, st.observed(active), k)
+	var q *RoundQuality
+	if st.params.CollectQuality {
+		// Churn tracking must advance even with no observer attached, so
+		// the final report's totals don't depend on who was listening.
+		q = st.roundQuality(phase, round, top, active)
+	}
+	if st.obs == nil {
+		return
+	}
 	st.obs(Snapshot{
 		Phase:            phase,
 		Round:            round,
-		TopK:             histogram.TopK(st.tau, st.observed(active), k),
+		TopK:             top,
 		ActiveCandidates: len(active),
 		Drawn:            st.drawn,
+		Quality:          q,
 	})
 }
 
@@ -93,6 +109,9 @@ func (st *state) salvage(cause error) (*Result, error) {
 		st.setTopK(obs, k)
 	}
 	st.finalize()
+	if st.params.CollectQuality {
+		st.res.Quality = st.buildQuality(true)
+	}
 	return st.res, cause
 }
 

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// runTwin runs the same population/seed twice — once with quality
+// collection, once without — and returns both results.
+func runTwin(t *testing.T, params Params) (plain, collected *Result) {
+	t.Helper()
+	pop := makePopulation(t, 21, 150_000, 16, 8, 0.1)
+
+	p1 := params
+	r1, err := Run(pop.sampler(t, 5), pop.targets, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := params
+	p2.CollectQuality = true
+	r2, err := Run(pop.sampler(t, 5), pop.targets, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r1, r2
+}
+
+func TestQualityCollectionDoesNotPerturbAnswer(t *testing.T) {
+	plain, collected := runTwin(t, defaultParams())
+	if collected.Quality == nil {
+		t.Fatal("CollectQuality run returned no Quality report")
+	}
+	if plain.Quality != nil {
+		t.Fatal("plain run grew a Quality report")
+	}
+	// Null the report and the two results must be deeply equal: quality
+	// collection reads the estimates, never steers them.
+	c := *collected
+	c.Quality = nil
+	if !reflect.DeepEqual(plain, &c) {
+		t.Fatalf("quality collection perturbed the answer:\nplain:     %+v\ncollected: %+v", plain, &c)
+	}
+}
+
+func TestQualityReportAnatomy(t *testing.T) {
+	_, res := runTwin(t, defaultParams())
+	q := res.Quality
+	if q.Termination != TerminationGuarantee && q.Termination != TerminationExact {
+		t.Fatalf("completed run terminated %q", q.Termination)
+	}
+	if !q.GuaranteeMet || q.Truncated {
+		t.Fatalf("completed run: GuaranteeMet=%v Truncated=%v", q.GuaranteeMet, q.Truncated)
+	}
+	if q.Rounds != res.Stats.Rounds {
+		t.Fatalf("Quality.Rounds=%d, Stats.Rounds=%d", q.Rounds, res.Stats.Rounds)
+	}
+	if q.PrunedCandidates != res.Stats.PrunedCandidates {
+		t.Fatalf("Quality.PrunedCandidates=%d, Stats=%d", q.PrunedCandidates, res.Stats.PrunedCandidates)
+	}
+	if got, want := q.FinalSlack, q.FinalGap-defaultParams().Epsilon; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FinalSlack=%g, want FinalGap-ε=%g", got, want)
+	}
+	if len(q.Matches) != len(res.TopK) {
+		t.Fatalf("%d quality matches for %d TopK entries", len(q.Matches), len(res.TopK))
+	}
+	for i, m := range q.Matches {
+		rk := res.TopK[i]
+		if m.ID != rk.ID || m.Distance != rk.Distance {
+			t.Fatalf("match %d: quality (id=%d d=%g) misaligned with TopK (id=%d d=%g)",
+				i, m.ID, m.Distance, rk.ID, rk.Distance)
+		}
+		if m.Samples <= 0 {
+			t.Fatalf("match %d: no samples behind the estimate", i)
+		}
+		if !(m.CI > 0 && m.CI <= ciDiameter) || math.IsNaN(m.CI) {
+			t.Fatalf("match %d: CI=%g outside (0, %d]", i, m.CI, ciDiameter)
+		}
+	}
+}
+
+func TestQualitySnapshotsCarryConvergenceTelemetry(t *testing.T) {
+	pop := makePopulation(t, 23, 150_000, 16, 8, 0.1)
+	params := defaultParams()
+	params.CollectQuality = true
+	var snaps []Snapshot
+	_, err := RunObserved(pop.sampler(t, 9), pop.targets, params, func(s Snapshot) {
+		snaps = append(snaps, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots emitted")
+	}
+	for i, s := range snaps {
+		q := s.Quality
+		if q == nil {
+			t.Fatalf("snapshot %d has no quality telemetry", i)
+		}
+		if q.Phase != s.Phase || q.Round != s.Round {
+			t.Fatalf("snapshot %d: quality phase/round %s/%d vs snapshot %s/%d",
+				i, q.Phase, q.Round, s.Phase, s.Round)
+		}
+		if got, want := q.Slack, q.Gap-params.Epsilon; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("snapshot %d: Slack=%g, want Gap-ε=%g", i, got, want)
+		}
+		if len(q.TopK) != len(s.TopK) {
+			t.Fatalf("snapshot %d: %d quality entries for %d TopK", i, len(q.TopK), len(s.TopK))
+		}
+		for j, cq := range q.TopK {
+			if cq.ID != s.TopK[j].ID {
+				t.Fatalf("snapshot %d entry %d: id %d vs ranked %d", i, j, cq.ID, s.TopK[j].ID)
+			}
+		}
+		if i == 0 && q.Churn != 0 {
+			t.Fatalf("first emission churn=%d, want 0", q.Churn)
+		}
+	}
+	// Telemetry must not depend on an observer being attached: the same
+	// run without one yields the same final churn total.
+	p2 := params
+	res, err := Run(pop.sampler(t, 9), pop.targets, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var churn int
+	for _, s := range snaps {
+		churn += s.Quality.Churn
+	}
+	if res.Quality.Churn != churn {
+		t.Fatalf("observerless churn=%d, observed emissions sum to %d", res.Quality.Churn, churn)
+	}
+}
+
+func TestQualityTruncatedRun(t *testing.T) {
+	pop := makePopulation(t, 25, 200_000, 12, 6, 0)
+	params := defaultParams()
+	params.Stage1Samples = 5_000
+	params.CollectQuality = true
+	s := &interruptingSampler{SliceSampler: pop.sampler(t, 3), after: 2}
+	res, err := Run(s, pop.targets, params)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	q := res.Quality
+	if q == nil {
+		t.Fatal("truncated run returned no Quality report")
+	}
+	if q.Termination != TerminationTruncated || !q.Truncated || q.GuaranteeMet {
+		t.Fatalf("truncated run: Termination=%q Truncated=%v GuaranteeMet=%v",
+			q.Termination, q.Truncated, q.GuaranteeMet)
+	}
+	if len(q.Matches) != len(res.TopK) {
+		t.Fatalf("%d quality matches for %d TopK entries", len(q.Matches), len(res.TopK))
+	}
+}
+
+func TestQualityExactRun(t *testing.T) {
+	pop := makePopulation(t, 2, 3000, 12, 6, 0)
+	params := defaultParams()
+	params.Epsilon = 0.01
+	params.Delta = 0.001
+	params.CollectQuality = true
+	res, err := Run(pop.sampler(t, 3), pop.targets, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("tiny dataset should exhaust to an exact answer")
+	}
+	if res.Quality.Termination != TerminationExact || !res.Quality.GuaranteeMet {
+		t.Fatalf("exact run: %+v", res.Quality)
+	}
+}

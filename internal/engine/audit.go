@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"fastmatch/internal/histogram"
+)
+
+// Audit quantifies an approximate (sampling-executor) answer against the
+// exact one: AuditRun re-executes the same plan and target with the exact
+// Scan executor, ranks every candidate, and measures how well the
+// approximate top-k matched it. The paper's contract is probabilistic —
+// precision ≥ 1−ε at confidence 1−δ — so audits are the only way to
+// observe whether the contract holds in practice; serving layers
+// shadow-audit a fraction of production queries with this harness.
+type Audit struct {
+	// K is the audited answer size (len of the approximate TopK).
+	K int `json:"k"`
+	// Epsilon is the ε the approximate run claimed its guarantee at.
+	Epsilon float64 `json:"epsilon"`
+	// PrecisionAtK is the strict precision |approx ∩ exact top-k| / k.
+	// The paper's guarantee tolerates ε-near misses, so this may dip
+	// below 1 without a violation — see GuaranteeViolations.
+	PrecisionAtK float64 `json:"precision_at_k"`
+	// GuaranteeViolations counts returned candidates whose exact distance
+	// exceeds the exact k-th best distance by more than ε — answers the
+	// separation guarantee actually forbids (they should occur with
+	// probability ≤ δ across runs).
+	GuaranteeViolations int `json:"guarantee_violations"`
+	// ExactKthDistance is the exact distance of the true k-th best
+	// candidate, the reference for the guarantee check.
+	ExactKthDistance float64 `json:"exact_kth_distance"`
+	// MeanAbsError / MaxAbsError aggregate |approx − exact| distance
+	// error over the returned matches.
+	MeanAbsError float64 `json:"mean_abs_error"`
+	MaxAbsError  float64 `json:"max_abs_error"`
+	// MaxDisplacement is the largest |approx rank − exact rank| over the
+	// returned matches.
+	MaxDisplacement int `json:"max_displacement"`
+	// Candidates details every returned match, in approximate-rank order.
+	Candidates []AuditCandidate `json:"candidates"`
+	// ExactIO and ExactDuration report what the exact reference pass
+	// cost — the price of the audit itself.
+	ExactIO       IOStats       `json:"exact_io"`
+	ExactDuration time.Duration `json:"exact_duration_ns"`
+}
+
+// AuditCandidate compares one returned match against the exact ranking.
+type AuditCandidate struct {
+	ID    int    `json:"id"`
+	Label string `json:"label"`
+	// ApproxRank/ExactRank are 0-based positions in the approximate and
+	// exact rankings.
+	ApproxRank int `json:"approx_rank"`
+	ExactRank  int `json:"exact_rank"`
+	// ApproxDistance/ExactDistance are the estimated and true distances;
+	// AbsError their absolute difference.
+	ApproxDistance float64 `json:"approx_distance"`
+	ExactDistance  float64 `json:"exact_distance"`
+	AbsError       float64 `json:"abs_error"`
+	// InExactTopK reports membership in the exact top-k (the strict
+	// precision numerator); Violation that the candidate breaks the
+	// ε-tolerant separation guarantee.
+	InExactTopK bool `json:"in_exact_topk"`
+	Violation   bool `json:"violation,omitempty"`
+}
+
+// AuditRun re-executes the plan and target with the exact Scan executor
+// and measures the approximate answer against the full exact ranking:
+// strict precision@k, rank displacement, per-candidate distance error,
+// and ε-tolerant guarantee violations. opts should be the options the
+// approximate run used — its Params (ε, metric) parameterize the audit;
+// executor-specific knobs are ignored. Partial approximate answers are
+// refused: a truncated run claimed no guarantee, so auditing one would
+// count phantom violations.
+//
+// The exact pass ranks every candidate (no σ pruning, k = |candidates|),
+// so it costs a full scan of the qualifying blocks; run audits off the
+// request path.
+func AuditRun(ctx context.Context, p *Plan, target *histogram.Histogram, approx *Result, opts Options) (*Audit, error) {
+	if approx == nil || len(approx.TopK) == 0 {
+		return nil, fmt.Errorf("engine: nothing to audit: empty approximate answer")
+	}
+	if approx.Partial {
+		return nil, fmt.Errorf("engine: refusing to audit a partial answer: no guarantee was claimed")
+	}
+	k := len(approx.TopK)
+
+	exOpts := Options{Params: opts.Params, Executor: Scan}
+	exOpts.Params.K = p.NumCandidates()
+	exOpts.Params.KRange.KMin, exOpts.Params.KRange.KMax = 0, 0
+	exOpts.Params.Sigma = 0 // the reference must rank every candidate
+	exOpts.Params.CollectQuality = false
+	exact, err := p.RunWithTargetContext(ctx, target, exOpts)
+	if err != nil {
+		return nil, fmt.Errorf("engine: audit reference scan: %w", err)
+	}
+	if len(exact.TopK) < k {
+		return nil, fmt.Errorf("engine: audit reference ranked %d candidates, approximate answer has %d", len(exact.TopK), k)
+	}
+
+	rank := make(map[int]int, len(exact.TopK))
+	dist := make(map[int]float64, len(exact.TopK))
+	for i, m := range exact.TopK {
+		rank[m.ID] = i
+		dist[m.ID] = m.Distance
+	}
+	a := &Audit{
+		K:                k,
+		Epsilon:          opts.Params.Epsilon,
+		ExactKthDistance: exact.TopK[k-1].Distance,
+		ExactIO:          exact.IO,
+		ExactDuration:    exact.Duration,
+		Candidates:       make([]AuditCandidate, 0, k),
+	}
+	hits := 0
+	for i, m := range approx.TopK {
+		er, ok := rank[m.ID]
+		if !ok {
+			return nil, fmt.Errorf("engine: audit: candidate %q missing from exact ranking", m.Label)
+		}
+		ed := dist[m.ID]
+		ae := math.Abs(m.Distance - ed)
+		disp := er - i
+		if disp < 0 {
+			disp = -disp
+		}
+		c := AuditCandidate{
+			ID:             m.ID,
+			Label:          m.Label,
+			ApproxRank:     i,
+			ExactRank:      er,
+			ApproxDistance: m.Distance,
+			ExactDistance:  ed,
+			AbsError:       ae,
+			InExactTopK:    er < k,
+			Violation:      ed > a.ExactKthDistance+a.Epsilon,
+		}
+		if c.InExactTopK {
+			hits++
+		}
+		if c.Violation {
+			a.GuaranteeViolations++
+		}
+		if disp > a.MaxDisplacement {
+			a.MaxDisplacement = disp
+		}
+		if ae > a.MaxAbsError {
+			a.MaxAbsError = ae
+		}
+		a.MeanAbsError += ae
+		a.Candidates = append(a.Candidates, c)
+	}
+	a.PrecisionAtK = float64(hits) / float64(k)
+	a.MeanAbsError /= float64(k)
+	return a, nil
+}

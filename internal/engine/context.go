@@ -49,6 +49,9 @@ type Progress struct {
 	// nondeterministic field; consumers comparing progress sequences
 	// should zero it.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Quality carries convergence telemetry (observed margin vs ε,
+	// ranking churn), present only when Options.Quality is set.
+	Quality *ProgressQuality `json:"quality,omitempty"`
 }
 
 // ProgressMatch is one candidate in a Progress ranking: the current
@@ -57,6 +60,9 @@ type ProgressMatch struct {
 	ID       int     `json:"id"`
 	Label    string  `json:"label"`
 	Distance float64 `json:"distance"`
+	// CI is the (1−δ) confidence-interval half-width around Distance,
+	// present (nonzero) only when Options.Quality is set.
+	CI float64 `json:"ci,omitempty"`
 }
 
 // runGuard enforces a run's termination conditions — context

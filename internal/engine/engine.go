@@ -137,6 +137,15 @@ type Options struct {
 	// not be served from result caches keyed by fingerprint (the serving
 	// layer bypasses its result-cache read for traced requests).
 	Trace *trace.Trace
+	// Quality, when set, makes sampling-executor runs collect answer-
+	// quality telemetry: per-round convergence data on Progress frames
+	// and trace spans (gap, slack, churn, per-candidate confidence
+	// intervals) and a final Result.Quality report. Like OnProgress and
+	// Trace it is purely observational — the answer, sampling schedule,
+	// and I/O are unchanged, and it is excluded from Options.Fingerprint.
+	// The exact Scan/ParallelScan executors ignore it (their answers are
+	// exact; there is no convergence to report).
+	Quality bool
 }
 
 // Result is a complete query answer.
@@ -169,6 +178,13 @@ type Result struct {
 	// byte-identical across Workers values. Serving layers aggregate it
 	// into metrics instead.
 	Sampler *SamplerStats `json:"-"`
+	// Quality is the answer-quality report, present only when
+	// Options.Quality was set on a sampling-executor run (nil otherwise).
+	// Excluded from JSON for the same reason as Sampler: serialized
+	// results must stay byte-identical whether or not quality telemetry
+	// was requested. Serving layers surface it as a sibling field of the
+	// result, never inside it.
+	Quality *QualityReport `json:"-"`
 }
 
 // SamplerStats describes how a sampling run's block reads were spread
@@ -363,6 +379,12 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 		res.GroupLabels = groupLabels(p.grp)
 		return res, err
 	}
+	if opts.Quality {
+		// The knob maps to core's collection flag here (opts is a copy);
+		// core.Params.CollectQuality is as fingerprint-neutral as
+		// Options.Quality itself.
+		opts.Params.CollectQuality = true
+	}
 	start := opts.StartBlock
 	if start < 0 {
 		nb := p.engine.src.NumBlocks()
@@ -407,6 +429,11 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 				sp := runSpan.ChildAt(name, phaseStart)
 				sp.SetAttr("drawn", s.Drawn)
 				sp.SetAttr("active_candidates", s.ActiveCandidates)
+				if q := s.Quality; q != nil {
+					sp.SetAttr("gap", q.Gap)
+					sp.SetAttr("slack", q.Slack)
+					sp.SetAttr("churn", q.Churn)
+				}
 				sp.SetIO(traceIO(ioDelta(cur, phaseIO)))
 				sp.EndAt(now)
 				phaseStart, phaseIO = now, cur
@@ -426,6 +453,19 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 				pr.TopK = make([]ProgressMatch, len(s.TopK))
 				for i, rk := range s.TopK {
 					pr.TopK[i] = ProgressMatch{ID: rk.ID, Label: p.cand.labelOf(rk.ID), Distance: rk.Distance}
+				}
+			}
+			if q := s.Quality; q != nil {
+				pr.Quality = &ProgressQuality{
+					Gap:              q.Gap,
+					Slack:            q.Slack,
+					Churn:            q.Churn,
+					PrunedCandidates: q.PrunedCandidates,
+				}
+				// Quality entries are aligned with Snapshot.TopK by the
+				// core contract.
+				for i := range pr.TopK {
+					pr.TopK[i].CI = q.TopK[i].CI
 				}
 			}
 			opts.OnProgress(pr)
@@ -472,6 +512,7 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 			WorkerBlocks: bs.wBlocks,
 			WorkerTuples: bs.wTuples,
 		},
+		Quality: qualityReport(coreRes.Quality, p.cand.labelOf),
 	}
 	for _, rk := range coreRes.TopK {
 		res.TopK = append(res.TopK, Match{

@@ -103,8 +103,8 @@ func (t Target) Fingerprint() string {
 // option. Two runs of the same Plan and target with equal option
 // fingerprints produce identical Results: the executors are deterministic
 // given Seed (which fixes the start block when StartBlock is negative) and
-// Workers (ParallelScan partitioning). OnProgress and Trace (no effect on
-// the result; purely observational) and Deadline (wall-clock dependent;
+// Workers (ParallelScan partitioning). OnProgress, Trace, and Quality (no
+// effect on the result; purely observational) and Deadline (wall-clock dependent;
 // Deadline-bearing runs must not be cached by fingerprint) are
 // deliberately excluded — which is also why serving layers must bypass
 // their result-cache read for traced requests: the fingerprint of a

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"testing"
+)
+
+// BenchmarkQualityOverhead measures the cost of answer-quality telemetry
+// on a sampling run. Collection happens on the per-round path (a ranking
+// pass and k Deviation evaluations per emission), never the per-row path,
+// so "on" must sit within noise of "off" — the same discipline the
+// progress and trace overhead benchmarks pin.
+func BenchmarkQualityOverhead(b *testing.B) {
+	tbl := testDataset(b, 400_000, 20, 8, 5)
+	eng := New(tbl)
+	plan, err := eng.Prepare(baseQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := plan.ResolveTarget(Target{Uniform: true}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := func() Options {
+		o := cancelOptions(FastMatch, tbl.NumBlocks())
+		o.Workers = 1
+		return o
+	}
+
+	b.Run("off", func(b *testing.B) {
+		o := opts()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.RunWithTarget(target, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		o := opts()
+		o.Quality = true
+		for i := 0; i < b.N; i++ {
+			res, err := plan.RunWithTarget(target, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Quality == nil {
+				b.Fatal("no quality report")
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"fastmatch/internal/engine"
@@ -30,6 +31,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("GET /v1/debug/quality", s.handleDebugQuality)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
@@ -163,6 +165,11 @@ type wireResponse struct {
 	// "trace": true. It precedes Result so tooling that slices the
 	// response at `"result":` (the smoke script does) keeps working.
 	Trace *trace.Snapshot `json:"trace,omitempty"`
+	// Quality is the run's answer-quality report, present only when the
+	// request set "quality": true on a sampling executor. Like Trace it is
+	// a sibling of Result — never inside it — so the result bytes stay
+	// byte-identical whether or not quality was requested.
+	Quality *engine.QualityReport `json:"quality,omitempty"`
 	// Result is the deterministic result payload (ResultPayload).
 	Result json.RawMessage `json:"result"`
 }
@@ -189,6 +196,23 @@ type preparedQuery struct {
 	// whether or not the client asked for the trace back.
 	id string
 	tr *trace.Trace
+	// audit marks the request as sampled for a shadow audit (decided at
+	// prepare time so the run collects quality telemetry); holds counts
+	// the users of release — the handler plus any in-flight audit — so
+	// the pinned table view outlives the response when an audit is
+	// still re-executing the plan.
+	audit bool
+	holds atomic.Int32
+}
+
+// retain adds a hold on the prepared query's pinned resources; done
+// drops one and runs release when the last holder is gone. The handler
+// holds one from prepareQuery; the audit goroutine retains another.
+func (pq *preparedQuery) retain() { pq.holds.Add(1) }
+func (pq *preparedQuery) done() {
+	if pq.holds.Add(-1) == 0 {
+		pq.release()
+	}
 }
 
 // fail records a failed request (metrics, trace, request log) and writes
@@ -238,6 +262,7 @@ func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQ
 		releaseView()
 		entry.release()
 	}
+	pq.holds.Store(1)
 	bail := func(status int, format string, args ...any) *preparedQuery {
 		pq.fail(w, status, format, args...)
 		pq.release()
@@ -268,6 +293,14 @@ func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQ
 	// for it (Trace is excluded from the fingerprint, so this does not
 	// fragment the result cache).
 	pq.opts.Trace = pq.tr
+	// Shadow-audit sampling is decided up front so the run also collects
+	// quality telemetry for the debug ring. Quality, like Trace, is
+	// excluded from the fingerprint: collection never changes the result
+	// bytes, so audited and unaudited runs share cache entries.
+	if isSamplingExecutor(pq.opts.Executor) {
+		pq.audit = s.auditSelected(entry)
+		pq.opts.Quality = pq.req.Quality || pq.audit
+	}
 	return pq
 }
 
@@ -335,15 +368,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if pq == nil {
 		return
 	}
-	defer pq.release()
+	defer pq.done()
 
 	// Result cache: seeded runs are deterministic (the async FastMatch
 	// executor aside, where a cached answer is still one valid (ε, δ)
 	// answer), so a fingerprint hit can skip the engine entirely. Traced
-	// requests skip the read — Trace is excluded from the fingerprint, so
-	// a hit would hand back a payload with no span tree behind it — but
-	// still publish their payload below for untraced requests to reuse.
-	if !pq.req.Trace {
+	// and quality-carrying requests skip the read — Trace and Quality are
+	// excluded from the fingerprint, so a hit would hand back a payload
+	// with no span tree or quality report behind it — but still publish
+	// their payload below for plain requests to reuse.
+	if !pq.req.Trace && !pq.req.Quality {
 		csp := pq.tr.Start("result_cache")
 		payload, ok := s.results.Get(pq.resultKey)
 		csp.SetAttr("hit", ok)
@@ -427,6 +461,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.results.Put(pq.resultKey, payload)
 	}
 	snap := s.finishRequest(pq, oc, res, planHit, false, http.StatusOK, "")
+	s.recordQuality(pq, plan, res)
 	resp := wireResponse{
 		Table:      pq.req.Table,
 		Cached:     false,
@@ -435,6 +470,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if pq.req.Trace {
 		resp.Trace = &snap
+	}
+	if pq.req.Quality {
+		resp.Quality = res.Quality
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

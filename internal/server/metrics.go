@@ -49,6 +49,20 @@ type tableMetrics struct {
 	appendReqs      int64
 	appendRows      int64
 	appendErrs      int64
+	// Answer-quality telemetry: runs that carried a quality report, the
+	// subset cut short (truncated termination), the last completed run's
+	// final observed margin, and the stage-2 round distribution.
+	qualityRuns      int64
+	qualityTruncated int64
+	qualityMargin    float64
+	qualityRounds    *metrics.Histogram
+	// Shadow-audit outcomes: audits executed, audits that failed (or were
+	// skipped at capacity), ε-tolerant guarantee violations found, and
+	// the ground-truth precision@k distribution.
+	auditRuns       int64
+	auditErrs       int64
+	auditViolations int64
+	auditPrecision  *metrics.Histogram
 	latencies       [latencyWindow]time.Duration
 	latCount        int // total observations (ring index = latCount % window)
 	// latHist is the bucketed latency distribution behind the
@@ -57,8 +71,22 @@ type tableMetrics struct {
 	latHist *metrics.Histogram
 }
 
+// roundsBuckets bounds the fastmatch_quality_rounds histogram: most runs
+// converge within a handful of stage-2 rounds, with a long tail worth
+// seeing separately.
+var roundsBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24}
+
+// precisionBuckets bounds the fastmatch_audit_precision_at_k histogram
+// over [0, 1]; the upper buckets are dense because the (ε, δ) guarantee
+// makes anything below 1 the interesting region.
+var precisionBuckets = []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+
 func newTableMetrics() *tableMetrics {
-	return &tableMetrics{latHist: metrics.NewHistogram(metrics.DefaultLatencyBuckets)}
+	return &tableMetrics{
+		latHist:        metrics.NewHistogram(metrics.DefaultLatencyBuckets),
+		qualityRounds:  metrics.NewHistogram(roundsBuckets),
+		auditPrecision: metrics.NewHistogram(precisionBuckets),
+	}
 }
 
 // runOutcome classifies how a query request ended, for the per-table
@@ -137,6 +165,14 @@ func (m *tableMetrics) observe(d time.Duration, res *engine.Result, oc runOutcom
 		if res.Partial {
 			m.partials++
 		}
+		if q := res.Quality; q != nil {
+			m.qualityRuns++
+			m.qualityMargin = q.FinalGap
+			m.qualityRounds.Observe(float64(q.Rounds))
+			if q.Truncated {
+				m.qualityTruncated++
+			}
+		}
 		m.io.Add(res.IO)
 		m.samples += res.Stats.TotalSamples()
 		m.samplesS1 += res.Stats.SamplesStage1
@@ -164,6 +200,21 @@ func (m *tableMetrics) observe(d time.Duration, res *engine.Result, oc runOutcom
 	if m.latHist != nil {
 		m.latHist.Observe(d.Seconds())
 	}
+}
+
+// observeAudit records one shadow-audit outcome against the table.
+// failed covers both audit errors and capacity skips; a successful audit
+// contributes its precision@k and any guarantee violations it found.
+func (m *tableMetrics) observeAudit(a *engine.Audit, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.auditRuns++
+	if failed || a == nil {
+		m.auditErrs++
+		return
+	}
+	m.auditViolations += int64(a.GuaranteeViolations)
+	m.auditPrecision.Observe(a.PrecisionAtK)
 }
 
 // TableMetrics is the JSON form of one table's serving statistics,
@@ -212,6 +263,20 @@ type TableMetrics struct {
 	AppendRequests int64 `json:"append_requests,omitempty"`
 	AppendedRows   int64 `json:"appended_rows,omitempty"`
 	AppendErrors   int64 `json:"append_errors,omitempty"`
+	// QualityRuns counts runs that carried an answer-quality report;
+	// QualityTruncatedRuns the subset cut short before the (ε, δ)
+	// guarantee held; QualityFinalMargin is the most recent completed
+	// run's observed separation margin τ_(k+1) − τ_(k).
+	QualityRuns          int64   `json:"quality_runs,omitempty"`
+	QualityTruncatedRuns int64   `json:"quality_truncated_runs,omitempty"`
+	QualityFinalMargin   float64 `json:"quality_final_margin,omitempty"`
+	// AuditRuns counts shadow audits attempted; AuditErrors the subset
+	// that failed or were skipped at capacity; AuditGuaranteeViolations
+	// the ε-tolerant separation-guarantee violations found across all
+	// successful audits (expected ≈ δ × audited answers).
+	AuditRuns                int64 `json:"audit_runs,omitempty"`
+	AuditErrors              int64 `json:"audit_errors,omitempty"`
+	AuditGuaranteeViolations int64 `json:"audit_guarantee_violations,omitempty"`
 	// LatencyMS holds quantiles over the most recent requests.
 	LatencyMS LatencyQuantiles `json:"latency_ms"`
 	// Storage reports the table's storage backend and mapped/heap bytes
@@ -222,8 +287,12 @@ type TableMetrics struct {
 	Ingest *ingest.Stats `json:"ingest,omitempty"`
 	// LatencyHist is the bucketed request-duration distribution backing
 	// /metrics; excluded from the /v1/stats JSON (the quantile summary
-	// above serves that endpoint).
-	LatencyHist metrics.HistSnapshot `json:"-"`
+	// above serves that endpoint). QualityRoundsHist and
+	// AuditPrecisionHist likewise back the fastmatch_quality_rounds and
+	// fastmatch_audit_precision_at_k families.
+	LatencyHist        metrics.HistSnapshot `json:"-"`
+	QualityRoundsHist  metrics.HistSnapshot `json:"-"`
+	AuditPrecisionHist metrics.HistSnapshot `json:"-"`
 }
 
 // LatencyQuantiles summarizes the recent-latency window in milliseconds.
@@ -269,10 +338,23 @@ func (m *tableMetrics) snapshot() TableMetrics {
 		AppendRequests:      m.appendReqs,
 		AppendedRows:        m.appendRows,
 		AppendErrors:        m.appendErrs,
+
+		QualityRuns:              m.qualityRuns,
+		QualityTruncatedRuns:     m.qualityTruncated,
+		QualityFinalMargin:       m.qualityMargin,
+		AuditRuns:                m.auditRuns,
+		AuditErrors:              m.auditErrs,
+		AuditGuaranteeViolations: m.auditViolations,
 	}
 	m.mu.Unlock()
 	if m.latHist != nil {
 		out.LatencyHist = m.latHist.Snapshot()
+	}
+	if m.qualityRounds != nil {
+		out.QualityRoundsHist = m.qualityRounds.Snapshot()
+	}
+	if m.auditPrecision != nil {
+		out.AuditPrecisionHist = m.auditPrecision.Snapshot()
 	}
 	if n > 0 {
 		// The copy above takes latencies[:n]: before the ring wraps

@@ -122,7 +122,7 @@ func slowServer(t testing.TB, cfg Config, timeout time.Duration) (*Server, *http
 	t.Helper()
 	tbl := fixtureTable(t)
 	s := New(cfg)
-	if err := s.reg.register("slow", "(throttled)", colstore.NewThrottledReader(tbl, time.Millisecond), timeout); err != nil {
+	if err := s.reg.register("slow", "(throttled)", colstore.NewThrottledReader(tbl, time.Millisecond), timeout, nil); err != nil {
 		t.Fatal(err)
 	}
 	return s, newHTTPServer(t, s)

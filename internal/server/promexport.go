@@ -109,6 +109,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			func(m TableMetrics) float64 { return float64(m.AppendedRows) }},
 		{"fastmatch_append_errors_total", "Failed row-append requests.",
 			func(m TableMetrics) float64 { return float64(m.AppendErrors) }},
+		{"fastmatch_quality_runs_total", "Runs that carried an answer-quality report.",
+			func(m TableMetrics) float64 { return float64(m.QualityRuns) }},
+		{"fastmatch_quality_truncated_total", "Quality-reporting runs cut short before the guarantee held.",
+			func(m TableMetrics) float64 { return float64(m.QualityTruncatedRuns) }},
+		{"fastmatch_audit_runs_total", "Shadow audits attempted (exact re-executions of sampled answers).",
+			func(m TableMetrics) float64 { return float64(m.AuditRuns) }},
+		{"fastmatch_audit_errors_total", "Shadow audits that failed or were skipped at capacity.",
+			func(m TableMetrics) float64 { return float64(m.AuditErrors) }},
+		{"fastmatch_audit_guarantee_violations_total", "Audited answers violating the epsilon-tolerant separation guarantee.",
+			func(m TableMetrics) float64 { return float64(m.AuditGuaranteeViolations) }},
 	} {
 		fam := pw.Counter(tc.name, tc.help)
 		for _, n := range names {
@@ -140,6 +150,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	lat := pw.HistogramFamily("fastmatch_request_duration_seconds", "Query request latency.")
 	for _, n := range names {
 		lat.Histogram(tables[n].LatencyHist, "table", n)
+	}
+
+	// Answer-quality distributions and the last observed margin. The
+	// margin gauge is only meaningful after a quality-reporting run, so
+	// tables without one emit no series.
+	qm := pw.Gauge("fastmatch_quality_final_margin", "Most recent quality-reporting run's observed separation margin.")
+	for _, n := range names {
+		if tables[n].QualityRuns > 0 {
+			qm.Sample(tables[n].QualityFinalMargin, "table", n)
+		}
+	}
+	qr := pw.HistogramFamily("fastmatch_quality_rounds", "Stage-2 refinement rounds per quality-reporting run.")
+	for _, n := range names {
+		qr.Histogram(tables[n].QualityRoundsHist, "table", n)
+	}
+	ap := pw.HistogramFamily("fastmatch_audit_precision_at_k", "Ground-truth precision@k measured by shadow audits.")
+	for _, n := range names {
+		ap.Histogram(tables[n].AuditPrecisionHist, "table", n)
 	}
 
 	// Ingest state (live tables only; static tables emit no series).

@@ -68,6 +68,11 @@ type TableSpec struct {
 	// simulator for exercising progressive delivery, timeouts, and
 	// cancellation against small datasets. Static backends only.
 	BlockDelayUS int64 `json:"block_delay_us,omitempty"`
+	// AuditFraction overrides Config.AuditFraction for this table: the
+	// fraction of completed sampling-executor answers to shadow-audit
+	// against an exact re-execution. Nil inherits the server default;
+	// a negative value disables auditing even when a default is set.
+	AuditFraction *float64 `json:"audit_fraction,omitempty"`
 }
 
 // TableInfo describes one registered table, as listed by /v1/tables.
@@ -118,6 +123,9 @@ type tableEntry struct {
 	// queryTimeout is the table's per-request timeout: 0 inherits the
 	// server default, negative disables it.
 	queryTimeout time.Duration
+	// auditFraction is the table's shadow-audit fraction override: nil
+	// inherits Config.AuditFraction, negative disables.
+	auditFraction *float64
 	// inflight counts requests currently using the entry; unload refuses
 	// (409) while it is nonzero.
 	inflight atomic.Int64
@@ -223,26 +231,28 @@ func (r *registry) add(e *tableEntry) error {
 }
 
 // register installs a static storage source under a name.
-func (r *registry) register(name, source string, src colstore.Reader, queryTimeout time.Duration) error {
+func (r *registry) register(name, source string, src colstore.Reader, queryTimeout time.Duration, auditFraction *float64) error {
 	return r.add(&tableEntry{
-		name:         name,
-		source:       source,
-		eng:          engine.New(src),
-		metrics:      newTableMetrics(),
-		loadedAt:     time.Now(),
-		queryTimeout: queryTimeout,
+		name:          name,
+		source:        source,
+		eng:           engine.New(src),
+		metrics:       newTableMetrics(),
+		loadedAt:      time.Now(),
+		queryTimeout:  queryTimeout,
+		auditFraction: auditFraction,
 	})
 }
 
 // registerLive installs an open writable table under a name.
-func (r *registry) registerLive(name, source string, wt *ingest.WritableTable, queryTimeout time.Duration) error {
+func (r *registry) registerLive(name, source string, wt *ingest.WritableTable, queryTimeout time.Duration, auditFraction *float64) error {
 	return r.add(&tableEntry{
-		name:         name,
-		source:       source,
-		live:         wt,
-		metrics:      newTableMetrics(),
-		loadedAt:     time.Now(),
-		queryTimeout: queryTimeout,
+		name:          name,
+		source:        source,
+		live:          wt,
+		metrics:       newTableMetrics(),
+		loadedAt:      time.Now(),
+		queryTimeout:  queryTimeout,
+		auditFraction: auditFraction,
 	})
 }
 
@@ -272,7 +282,7 @@ func (r *registry) load(spec TableSpec) error {
 		if err != nil {
 			return fmt.Errorf("server: opening ingest table %q at %s: %w", spec.Name, spec.Path, err)
 		}
-		if err := r.registerLive(spec.Name, spec.Path, wt, timeout); err != nil {
+		if err := r.registerLive(spec.Name, spec.Path, wt, timeout, spec.AuditFraction); err != nil {
 			wt.Close()
 			return err
 		}
@@ -330,7 +340,7 @@ func (r *registry) load(spec TableSpec) error {
 	if spec.BlockDelayUS > 0 {
 		src = colstore.NewThrottledReader(src, time.Duration(spec.BlockDelayUS)*time.Microsecond)
 	}
-	if err := r.register(spec.Name, spec.Path, src, timeout); err != nil {
+	if err := r.register(spec.Name, spec.Path, src, timeout, spec.AuditFraction); err != nil {
 		// Don't leak the file mapping when registration fails (e.g. a
 		// duplicate name on an admin reload).
 		if c, ok := src.(io.Closer); ok {

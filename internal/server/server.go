@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"fastmatch/internal/colstore"
@@ -72,6 +73,19 @@ type Config struct {
 	// served at GET /v1/debug/traces; 0 selects 32, < 0 disables the
 	// ring (the endpoint then always answers with an empty list).
 	TraceRingSize int
+	// AuditFraction is the fraction (0..1) of completed sampling-executor
+	// answers to shadow-audit: re-execute the plan with the exact Scan
+	// executor off the request path and compare (precision@k, rank
+	// displacement, guarantee violations — see engine.AuditRun). 0 (the
+	// default) disables auditing; values ≥ 1 audit every eligible answer.
+	// TableSpec.AuditFraction overrides it per table. Audits are full
+	// scans: they take regular admission slots, so they compete with —
+	// but never exceed — the serving concurrency bound.
+	AuditFraction float64
+	// QualityRingSize bounds the in-memory ring of recent answer-quality
+	// records (quality reports + shadow-audit verdicts) served at
+	// GET /v1/debug/quality; 0 selects 32, < 0 disables the ring.
+	QualityRingSize int
 }
 
 // Server serves FastMatch queries over registered tables. Create with
@@ -87,6 +101,10 @@ type Server struct {
 	started time.Time
 	log     *slog.Logger
 	traces  *traceRing
+	quality *qualityRing
+	// auditWG tracks in-flight shadow audits; tests wait on it to observe
+	// audit outcomes deterministically.
+	auditWG sync.WaitGroup
 
 	// testHookRunning, when set, is invoked while a query request holds
 	// its admission slot — lets tests park a request deterministically.
@@ -113,6 +131,9 @@ func New(cfg Config) *Server {
 	if cfg.TraceRingSize == 0 {
 		cfg.TraceRingSize = 32
 	}
+	if cfg.QualityRingSize == 0 {
+		cfg.QualityRingSize = 32
+	}
 	log := logx.OrDiscard(cfg.Logger)
 	s := &Server{
 		cfg:     cfg,
@@ -124,6 +145,7 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		log:     log,
 		traces:  newTraceRing(cfg.TraceRingSize),
+		quality: newQualityRing(cfg.QualityRingSize),
 	}
 	s.routes()
 	return s
@@ -137,7 +159,7 @@ func (s *Server) LoadTable(spec TableSpec) error { return s.reg.load(spec) }
 // path for programs that construct tables with a Builder or open mmap
 // snapshots themselves. The table inherits Config.QueryTimeout.
 func (s *Server) RegisterTable(name string, src colstore.Reader) error {
-	return s.reg.register(name, "(in-memory)", src, 0)
+	return s.reg.register(name, "(in-memory)", src, 0, nil)
 }
 
 // RegisterLiveTable registers an open ingest table; the server serves
@@ -145,7 +167,7 @@ func (s *Server) RegisterTable(name string, src colstore.Reader) error {
 // POST /v1/tables/{name}/rows. The server takes ownership: UnloadTable
 // (or /v1/admin/unload) closes it.
 func (s *Server) RegisterLiveTable(name string, wt *ingest.WritableTable) error {
-	return s.reg.registerLive(name, wt.Dir(), wt, 0)
+	return s.reg.registerLive(name, wt.Dir(), wt, 0, nil)
 }
 
 // timeoutFor resolves a table's effective query timeout: the per-table

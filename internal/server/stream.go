@@ -32,18 +32,26 @@ import (
 type StreamFrame struct {
 	// Type is "progress", "result", or "error".
 	Type string `json:"type"`
+	// QueryID identifies the request (the X-Query-ID header value),
+	// carried on the start frame so stream consumers can correlate the
+	// run with traces, logs, and /v1/debug/quality without reading
+	// response headers.
+	QueryID string `json:"query_id,omitempty"`
 	// Progress carries interim run state ("progress" frames). The first
 	// frame of every stream is a progress frame with phase "start",
-	// emitted before the run begins.
+	// emitted before the run begins. When the request set "quality":
+	// true, round frames carry convergence telemetry (Progress.Quality,
+	// per-match CI).
 	Progress *engine.Progress `json:"progress,omitempty"`
-	// Table/Cached/DurationNS/Trace/Result mirror the blocking endpoint's
-	// response ("result" frames); Trace is present only when the request
-	// set "trace": true.
-	Table      string          `json:"table,omitempty"`
-	Cached     bool            `json:"cached,omitempty"`
-	DurationNS int64           `json:"duration_ns,omitempty"`
-	Trace      *trace.Snapshot `json:"trace,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
+	// Table/Cached/DurationNS/Trace/Quality/Result mirror the blocking
+	// endpoint's response ("result" frames); Trace and Quality are
+	// present only when the request asked for them.
+	Table      string                `json:"table,omitempty"`
+	Cached     bool                  `json:"cached,omitempty"`
+	DurationNS int64                 `json:"duration_ns,omitempty"`
+	Trace      *trace.Snapshot       `json:"trace,omitempty"`
+	Quality    *engine.QualityReport `json:"quality,omitempty"`
+	Result     json.RawMessage       `json:"result,omitempty"`
 	// Error describes a failed run ("error" frames).
 	Error string `json:"error,omitempty"`
 }
@@ -75,7 +83,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	if pq == nil {
 		return
 	}
-	defer pq.release()
+	defer pq.done()
 
 	ctx, cancel, timedOut := s.runContext(r, pq)
 	defer cancel()
@@ -84,11 +92,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	// — nothing has been streamed yet, so the client still gets proper
 	// error semantics. Cached answers stream a single start frame and
 	// the terminal result, preserving the ≥1-progress-frame shape.
-	// Traced requests bypass the cache read, same as the blocking
-	// endpoint.
+	// Traced and quality-carrying requests bypass the cache read, same
+	// as the blocking endpoint.
 	var cachedPayload []byte
 	var cached bool
-	if !pq.req.Trace {
+	if !pq.req.Trace && !pq.req.Quality {
 		csp := pq.tr.Start("result_cache")
 		cachedPayload, cached = s.results.Get(pq.resultKey)
 		csp.SetAttr("hit", cached)
@@ -117,10 +125,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	fl, _ := w.(http.Flusher)
 	sw := &streamWriter{enc: json.NewEncoder(w), fl: fl}
 
-	// Every stream opens with a start frame: clients can render "query
-	// accepted" immediately, and even a cached or instant answer keeps
-	// the progress-then-result frame shape.
-	sw.frame(StreamFrame{Type: "progress", Progress: &engine.Progress{Phase: "start"}})
+	// Every stream opens with a start frame carrying the query ID:
+	// clients can render "query accepted" immediately and correlate the
+	// stream with traces and audit records, and even a cached or instant
+	// answer keeps the progress-then-result frame shape.
+	sw.frame(StreamFrame{Type: "progress", QueryID: pq.id, Progress: &engine.Progress{Phase: "start"}})
 
 	if cached {
 		s.finishRequest(pq, outcomeOK, nil, false, true, http.StatusOK, "")
@@ -178,6 +187,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		s.results.Put(pq.resultKey, payload)
 	}
 	snap := s.finishRequest(pq, oc, res, planHit, false, http.StatusOK, "")
+	s.recordQuality(pq, plan, res)
 	frame := StreamFrame{
 		Type:       "result",
 		Table:      pq.req.Table,
@@ -186,6 +196,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if pq.req.Trace {
 		frame.Trace = &snap
+	}
+	if pq.req.Quality {
+		frame.Quality = res.Quality
 	}
 	sw.frame(frame)
 }

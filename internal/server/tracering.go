@@ -23,6 +23,9 @@ type traceRing struct {
 	mu      sync.Mutex
 	cap     int
 	entries []trace.Snapshot // duration-descending
+	// now is the ring's clock, injectable so the retention sweep is
+	// testable without real 15-minute waits.
+	now func() time.Time
 }
 
 // newTraceRing creates a ring keeping up to size traces; size < 0
@@ -31,7 +34,7 @@ func newTraceRing(size int) *traceRing {
 	if size < 0 {
 		size = 0
 	}
-	return &traceRing{cap: size}
+	return &traceRing{cap: size, now: time.Now}
 }
 
 // record offers one finished trace to the ring.
@@ -39,7 +42,7 @@ func (r *traceRing) record(snap trace.Snapshot) {
 	if r.cap == 0 || snap.QueryID == "" {
 		return
 	}
-	now := time.Now()
+	now := r.now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	kept := r.entries[:0]

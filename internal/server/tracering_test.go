@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fastmatch/internal/obs/trace"
+)
+
+// fakeClock is an injectable, goroutine-safe clock for the trace ring's
+// retention sweep.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func traceSnap(clock *fakeClock, id string, dur time.Duration) trace.Snapshot {
+	return trace.Snapshot{QueryID: id, StartTime: clock.Now(), DurationNS: dur.Nanoseconds()}
+}
+
+// TestTraceRingRetentionSweep: entries older than the 15-minute window
+// are evicted when new ones arrive, even when they were slower — a
+// pathological request from long ago must not squat in the ring.
+func TestTraceRingRetentionSweep(t *testing.T) {
+	clock := &fakeClock{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+	r := newTraceRing(2)
+	r.now = clock.Now
+
+	// A very slow old trace fills a slot and, while fresh, outcompetes a
+	// faster newcomer for the contested second slot.
+	r.record(traceSnap(clock, "old-slow", 10*time.Second))
+	clock.Advance(time.Minute)
+	r.record(traceSnap(clock, "mid", 2*time.Second))
+	clock.Advance(time.Minute)
+	r.record(traceSnap(clock, "fast", time.Second))
+	got := r.snapshot()
+	if len(got) != 2 || got[0].QueryID != "old-slow" || got[1].QueryID != "mid" {
+		t.Fatalf("pre-sweep ring: %+v", got)
+	}
+
+	// Past the retention window both survivors expire; the next record
+	// sweeps them and keeps only itself.
+	clock.Advance(traceRetention)
+	r.record(traceSnap(clock, "new", 50*time.Millisecond))
+	got = r.snapshot()
+	if len(got) != 1 || got[0].QueryID != "new" {
+		t.Fatalf("post-sweep ring: %+v", got)
+	}
+}
+
+// TestTraceRingConcurrentSweep hammers the ring from many goroutines
+// while the clock jumps across retention boundaries — run under -race
+// this checks the sweep holds up with concurrent inserts.
+func TestTraceRingConcurrentSweep(t *testing.T) {
+	clock := &fakeClock{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+	r := newTraceRing(8)
+	r.now = clock.Now
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.record(traceSnap(clock, fmt.Sprintf("q-%d-%d", g, i), time.Duration(i)*time.Millisecond))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			clock.Advance(traceRetention / 3)
+		}
+	}()
+	wg.Wait()
+
+	// The sweep runs on insert: one sentinel record at the final clock
+	// value evicts everything outside the window, so afterwards every
+	// survivor must respect the invariants — within cap, sorted
+	// duration-descending, within retention of "now".
+	now := clock.Now()
+	r.record(traceSnap(clock, "sentinel", time.Hour))
+	got := r.snapshot()
+	if len(got) == 0 || len(got) > 8 {
+		t.Fatalf("ring size %d, want 1..8", len(got))
+	}
+	if got[0].QueryID != "sentinel" {
+		t.Fatalf("slowest entry %q, want sentinel", got[0].QueryID)
+	}
+	for i, e := range got {
+		if i > 0 && e.DurationNS > got[i-1].DurationNS {
+			t.Fatalf("ring not duration-sorted at %d: %+v", i, got)
+		}
+		if now.Sub(e.StartTime) > traceRetention {
+			t.Fatalf("stale entry survived the sweep: %+v (now %v)", e, now)
+		}
+	}
+}

@@ -32,6 +32,13 @@ type QueryRequest struct {
 	// byte-identical either way, and complete results are still cached
 	// for untraced requests to reuse.
 	Trace bool `json:"trace,omitempty"`
+	// Quality asks for the run's answer-quality report in the response
+	// (the "quality" field) and per-round convergence telemetry in stream
+	// progress frames. Sampling executors only (scan/parallelscan answer
+	// exactly and ignore it). Like Trace, quality requests bypass the
+	// result-cache read but the result bytes are byte-identical either
+	// way — collection is purely observational.
+	Quality bool `json:"quality,omitempty"`
 }
 
 // QuerySpec mirrors engine.Query for JSON transport. Filter closures have

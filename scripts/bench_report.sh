@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Aggregate the BENCH_*.json records at the repo root into BENCHLOG.md —
+# one table per recorded benchmark, so perf history reads in one place
+# instead of nine JSON files. The JSON records stay the source of truth;
+# this report is derived. CI regenerates it on every run and uploads it
+# as an artifact; run locally after updating a record:
+#   ./scripts/bench_report.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCHLOG.md}"
+
+command -v jq >/dev/null || { echo "bench_report.sh requires jq" >&2; exit 1; }
+
+shopt -s nullglob
+FILES=(BENCH_*.json)
+[ "${#FILES[@]}" -gt 0 ] || { echo "no BENCH_*.json records found" >&2; exit 1; }
+
+{
+  echo "# Benchmark log"
+  echo
+  echo "Derived from the \`BENCH_*.json\` records at the repo root by"
+  echo "\`scripts/bench_report.sh\`; do not edit by hand. All recordings are"
+  echo "sanity baselines from the dev container (often single-CPU — see each"
+  echo "record's environment note); re-measure on target hardware before"
+  echo "drawing tuning conclusions."
+  for f in "${FILES[@]}"; do
+    echo
+    jq -r --arg file "$f" '
+      def fmt_ns:
+        if . >= 1e9 then "\(. / 1e9 * 100 | round / 100) s"
+        elif . >= 1e6 then "\(. / 1e6 * 100 | round / 100) ms"
+        elif . >= 1e3 then "\(. / 1e3 * 100 | round / 100) µs"
+        else "\(.) ns" end;
+      def rows:
+        [ (.results_ns_per_op // {}) | to_entries[]
+          | if (.value | type) == "number" then {v: .key, ns: .value}
+            elif (.value | type) == "object" then
+              .key as $g | (.value | to_entries[] | {v: "\($g) · \(.key)", ns: .value})
+            else empty end ]
+        + [ (.results // {}) | to_entries[] | select((.value | type) == "object")
+            | if .value.ns_per_op != null then {v: .key, ns: .value.ns_per_op}
+              else .key as $g
+                | (.value | to_entries[] | select((.value | type) == "number")
+                   | {v: "\($g) · \(.key)", ns: .value, raw: (.key | test("ns") | not)})
+              end ];
+      def freeform: if type == "string" then .
+        elif type == "array" then .[] | tostring
+        else to_entries[] | "**\(.key)**: \(.value | tostring)" end;
+      def notes:
+        [ (.results // {}) | to_entries[] | select((.value | type) == "string")
+          | "**\(.key)**: \(.value)" ]
+        + [ .notes // empty | freeform ]
+        + [ .derived // empty | freeform ];
+      "## \(.benchmark)",
+      "",
+      "`\($file)`" + (if .recorded then " — recorded \(.recorded)" else "" end),
+      "",
+      (if .command then "```\n\(.command)\n```", "" else empty end),
+      (if (rows | length) > 0 then
+        "| variant | value | |",
+        "|---|---:|---|",
+        (rows[] | "| \(.v) | \(.ns) | \(if .raw then "" else (.ns | fmt_ns) end) |"),
+        ""
+      else empty end),
+      (notes[] | "- \(.)")
+    ' "$f"
+  done
+} > "$OUT"
+
+echo "wrote $OUT (${#FILES[@]} records)"

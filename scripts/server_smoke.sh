@@ -34,9 +34,9 @@ go build -o "$TMP/fastmatchd" ./cmd/fastmatchd
 echo "== generating flights dataset + snapshot"
 "$TMP/datagen" -dataset flights -rows 100000 -out "" -snapshot "$TMP/flights.fms"
 
-echo "== starting fastmatchd (same snapshot on the inmem and mmap backends, plus a throttled copy)"
+echo "== starting fastmatchd (same snapshot on the inmem and mmap backends, plus a throttled copy; flights shadow-audits every sampling answer)"
 "$TMP/fastmatchd" -listen "127.0.0.1:${PORT}" \
-  -table "flights=$TMP/flights.fms" \
+  -table "flights=$TMP/flights.fms?audit=1" \
   -table "flightsmm=$TMP/flights.fms?backend=mmap" \
   -table "flightsslow=$TMP/flights.fms?blockdelay=2ms" &
 PID=$!
@@ -128,12 +128,40 @@ DT="$(curl -fsS "$BASE/v1/debug/traces")"
 echo "$DT" | grep -q '"query_id":' || { echo "debug trace ring empty: $DT" >&2; exit 1; }
 curl -fsS "$BASE/healthz" | grep -q '"table_status":' || { echo "healthz missing table_status" >&2; exit 1; }
 
+echo "== quality-requesting query returns a convergence report next to identical result bytes"
+QQUERY="$(printf '%s' "$QUERY" | sed 's/^{/{"quality":true,/')"
+RQ="$(curl -fsS -X POST "$BASE/v1/query" -d "$QQUERY")"
+echo "$RQ" | grep -q '"quality":{'           || { echo "no quality report in: $RQ" >&2; exit 1; }
+echo "$RQ" | grep -q '"guarantee_met":true'  || { echo "quality report does not claim the guarantee: $RQ" >&2; exit 1; }
+echo "$RQ" | grep -Eq '"rounds":[0-9]'       || { echo "quality report missing rounds: $RQ" >&2; exit 1; }
+echo "$RQ" | grep -q '"cached":false'        || { echo "quality request served from cache: $RQ" >&2; exit 1; }
+PQ="$(printf '%s' "$RQ" | sed 's/.*"result"://')"
+[ "$P1" = "$PQ" ] || { echo "quality collection perturbed the result" >&2; echo "plain:   $P1" >&2; echo "quality: $PQ" >&2; exit 1; }
+
+echo "== shadow audits (audit=1 on flights) land in /v1/debug/quality and /metrics"
+AUDITED=""
+for i in $(seq 1 50); do
+  DQ="$(curl -fsS "$BASE/v1/debug/quality")"
+  if printf '%s' "$DQ" | grep -q '"precision_at_k":'; then AUDITED=yes; break; fi
+  sleep 0.1
+done
+[ -n "$AUDITED" ] || { echo "no audit verdict in /v1/debug/quality: $DQ" >&2; exit 1; }
+printf '%s' "$DQ" | grep -q '"audit":{'    || { echo "quality ring entry has no audit: $DQ" >&2; exit 1; }
+printf '%s' "$DQ" | grep -q '"query_id":'  || { echo "quality ring entry has no query id: $DQ" >&2; exit 1; }
+METRICS="$(curl -fsS "$BASE/metrics")"
+printf '%s\n' "$METRICS" | grep -Eq '^fastmatch_audit_runs_total\{table="flights"\} [1-9]' || { echo "/metrics shows no audit runs" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep -Eq '^fastmatch_audit_precision_at_k_count\{table="flights"\} [1-9]' || { echo "/metrics missing audit precision histogram" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep -Eq '^fastmatch_quality_rounds_count\{table="flights"\} [1-9]' || { echo "/metrics missing quality rounds histogram" >&2; exit 1; }
+FSTATS="$(curl -fsS "$BASE/v1/stats" | sed 's/.*"flights"://')"
+printf '%s' "$FSTATS" | grep -Eq '"audit_runs":[1-9]' || { echo "/v1/stats missing audit runs: $FSTATS" >&2; exit 1; }
+
 echo "== /v1/query/stream: progress frames precede a result byte-identical to the blocking answer"
 SQUERY='{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scanmatch","epsilon":0.1,"seed":21}}'
 STREAM="$(curl -fsS -N -X POST "$BASE/v1/query/stream" -d "$SQUERY")"
 NFRAMES="$(printf '%s\n' "$STREAM" | grep -c '"type":')"
 [ "$NFRAMES" -ge 2 ] || { echo "stream produced $NFRAMES frames, want >= 2: $STREAM" >&2; exit 1; }
 printf '%s\n' "$STREAM" | head -1 | grep -q '"type":"progress"' || { echo "first frame not progress: $STREAM" >&2; exit 1; }
+printf '%s\n' "$STREAM" | head -1 | grep -q '"query_id":"' || { echo "start frame carries no query_id: $STREAM" >&2; exit 1; }
 printf '%s\n' "$STREAM" | head -n -1 | grep -q '"type":"result"' && { echo "result frame before the end of the stream" >&2; exit 1; }
 LAST="$(printf '%s\n' "$STREAM" | tail -1)"
 printf '%s' "$LAST" | grep -q '"type":"result"' || { echo "terminal frame not a result: $LAST" >&2; exit 1; }
