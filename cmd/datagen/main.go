@@ -21,6 +21,14 @@
 // drops the statistics section and -snapshot-format 1 writes the legacy
 // unaligned v1 layout, both for older readers.
 //
+// -shards N splits the table into N disjoint row-range shard snapshots
+// (x.fms -> x-shard0.fms ... x-shardN-1.fms) for a fastmatchd cluster:
+// every shard carries the FULL dictionaries (identical candidate/group
+// id spaces) and all but the last hold a multiple of
+// blockSize×engine.ChunkBlocks(blockSize) rows, so a coordinator's
+// scatter-gather answer over the shards is byte-identical to a single
+// node loading the unsplit snapshot.
+//
 // -stream POSTs the generated rows to a running fastmatchd append
 // endpoint as batched text/csv requests, rate-limited by -stream-rate
 // (rows per second; 0 streams as fast as the daemon acks). The target
@@ -40,13 +48,22 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/datagen"
+	"fastmatch/internal/engine"
 	"fastmatch/internal/obs/logx"
 )
+
+// shardPath derives shard i's snapshot path: "x.fms" -> "x-shard0.fms".
+func shardPath(base string, i int) string {
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s-shard%d%s", strings.TrimSuffix(base, ext), i, ext)
+}
 
 func main() {
 	dataset := flag.String("dataset", "flights", "preset: flights, taxi, or police")
@@ -56,6 +73,7 @@ func main() {
 	snapshot := flag.String("snapshot", "", "also write a binary table snapshot to this path")
 	snapshotFormat := flag.Int("snapshot-format", colstore.CurrentSnapshotVersion,
 		"snapshot format version (3 = aligned + block stats, 2 = aligned/mmap-able, 1 = legacy)")
+	shards := flag.Int("shards", 0, "with -snapshot: split the table into N disjoint row-range shard snapshots (name-shardK.ext), chunk-aligned for coordinator byte-identity")
 	summary := flag.Bool("summary", false, "print per-column summaries to stderr")
 	stream := flag.String("stream", "", "POST rows to this fastmatchd append endpoint (e.g. http://host:8080/v1/tables/NAME/rows)")
 	streamRate := flag.Int("stream-rate", 0, "rows per second for -stream (0 = unthrottled)")
@@ -79,10 +97,31 @@ func main() {
 		}
 	}
 	if *snapshot != "" {
-		if err := colstore.WriteSnapshotFileVersion(ds.Table, *snapshot, *snapshotFormat); err != nil {
-			log.Fatal(err)
+		if *shards > 1 {
+			// Shard boundaries must land on sampler chunk-commit positions:
+			// that is what makes a coordinated K-shard answer byte-identical
+			// to a single node over the concatenated data (see
+			// internal/cluster). Shards share the table's full dictionaries
+			// by construction.
+			align := ds.Table.BlockSize() * engine.ChunkBlocks(ds.Table.BlockSize())
+			parts, err := colstore.ShardTables(ds.Table, *shards, align)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, part := range parts {
+				path := shardPath(*snapshot, i)
+				if err := colstore.WriteSnapshotFileVersion(part, path, *snapshotFormat); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "shard %d snapshot (v%d): %d rows, %d blocks -> %s\n",
+					i, *snapshotFormat, part.NumRows(), part.NumBlocks(), path)
+			}
+		} else {
+			if err := colstore.WriteSnapshotFileVersion(ds.Table, *snapshot, *snapshotFormat); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "snapshot (v%d) written to %s\n", *snapshotFormat, *snapshot)
 		}
-		fmt.Fprintf(os.Stderr, "snapshot (v%d) written to %s\n", *snapshotFormat, *snapshot)
 	}
 	if *stream != "" {
 		logger, err := logx.New(os.Stderr, *logFormat, slog.LevelInfo)

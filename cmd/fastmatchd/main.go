@@ -17,6 +17,13 @@
 //	    -table "live=./livedir?backend=ingest&columns=Origin,DepartureHour" \
 //	    -measures live:Delay
 //
+//	# cluster coordinator: no local data — scatter-gather queries across
+//	# shard daemons (write shard snapshots with datagen -shards N)
+//	go run ./cmd/fastmatchd -listen :8081 -table flights=flights-shard0.fms &
+//	go run ./cmd/fastmatchd -listen :8082 -table flights=flights-shard1.fms &
+//	go run ./cmd/fastmatchd -listen :8080 -coordinator flights \
+//	    -shard s0=http://127.0.0.1:8081 -shard s1=http://127.0.0.1:8082
+//
 //	curl -s localhost:8080/v1/tables
 //	curl -s -X POST localhost:8080/v1/query -d '{
 //	    "table": "flights",
@@ -40,6 +47,13 @@
 // — a storage-latency simulator for demonstrating progressive delivery
 // and cancellation). CSV and ingest measure columns are named with
 // -measures table:col1,col2.
+//
+// -coordinator NAME serves NAME as a coordinated table: queries fan out
+// across the -shard daemons (repeatable name=url, order = global block
+// order, matching datagen -shards output order) and their partials fold
+// into an answer byte-identical to a single node over the concatenated
+// data. A dead shard degrades the answer honestly — 200 with
+// "partial": true and the missing shard named — never a wrong total.
 //
 // Answer-quality observability: "quality": true on a query returns the
 // run's convergence report next to the result; shadow-audit verdicts and
@@ -69,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"fastmatch/internal/cluster"
 	"fastmatch/internal/obs/logx"
 	"fastmatch/internal/server"
 )
@@ -157,6 +172,16 @@ func main() {
 		tables = append(tables, spec)
 		return nil
 	})
+	coordinator := flag.String("coordinator", "", "serve this table as a cluster coordinator scatter-gathering across the -shard daemons (no local data)")
+	var shardRefs []cluster.ShardRef
+	flag.Func("shard", "shard daemon for -coordinator, as name=url (repeatable; order is the global block order)", func(v string) error {
+		name, shardURL, ok := strings.Cut(v, "=")
+		if !ok || name == "" || shardURL == "" {
+			return fmt.Errorf("want name=url, got %q", v)
+		}
+		shardRefs = append(shardRefs, cluster.ShardRef{Name: name, URL: strings.TrimRight(shardURL, "/")})
+		return nil
+	})
 	measures := map[string][]string{}
 	flag.Func("measures", "CSV measure columns, as table:col1,col2 (repeatable)", func(v string) error {
 		name, cols, ok := strings.Cut(v, ":")
@@ -179,8 +204,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if len(tables) == 0 {
-		fmt.Fprintln(os.Stderr, "fastmatchd: no tables; pass at least one -table name=path")
+	if len(tables) == 0 && *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "fastmatchd: no tables; pass at least one -table name=path (or -coordinator with -shard)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *coordinator != "" && len(shardRefs) == 0 {
+		fmt.Fprintln(os.Stderr, "fastmatchd: -coordinator needs at least one -shard name=url")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -214,6 +244,18 @@ func main() {
 					"elapsed", time.Since(began).Round(time.Millisecond).String())
 			}
 		}
+	}
+
+	if *coordinator != "" {
+		if err := srv.RegisterCoordinatedTable(*coordinator, shardRefs); err != nil {
+			logger.Error("registering coordinator failed", "table", *coordinator, "error", err)
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(shardRefs))
+		for _, ref := range shardRefs {
+			names = append(names, ref.Name+"="+ref.URL)
+		}
+		logger.Info("coordinator registered", "table", *coordinator, "shards", strings.Join(names, " "))
 	}
 
 	httpSrv := &http.Server{

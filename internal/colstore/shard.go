@@ -1,0 +1,64 @@
+package colstore
+
+import "fmt"
+
+// ShardTables partitions a table into n disjoint row-range shards, in
+// row order: shard 0 holds the first rows, shard n-1 the last. Every
+// shard shares the source table's dictionaries in full (columns alias
+// the same *Dictionary; codes and measure values alias sub-slices of
+// the source arrays — no copying), so all shards expose identical
+// candidate and group id spaces even for values that never occur in
+// their rows. That shared-dictionary property is what makes the cluster
+// coordinator's merge algebra sound across shards.
+//
+// All shards except the last hold an exact multiple of alignRows rows
+// (alignRows ≤ 0 selects one block). For coordinated answers to be
+// byte-identical to a single node over the concatenated data, alignRows
+// must be blockSize × engine.ChunkBlocks(blockSize) — then every shard
+// boundary falls exactly on a sampler chunk-commit position, so segment
+// handoffs happen where the single-node walk would have committed
+// anyway.
+func ShardTables(tbl *Table, n, alignRows int) ([]*Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("colstore: shard count %d must be positive", n)
+	}
+	if alignRows <= 0 {
+		alignRows = tbl.BlockSize()
+	}
+	if alignRows%tbl.BlockSize() != 0 {
+		return nil, fmt.Errorf("colstore: shard alignment %d is not a multiple of block size %d", alignRows, tbl.BlockSize())
+	}
+	rows := tbl.NumRows()
+	// Rows per shard, rounded up to the alignment so every boundary is a
+	// chunk-commit position; the last shard absorbs the remainder.
+	per := (rows + n - 1) / n
+	per = ((per + alignRows - 1) / alignRows) * alignRows
+	out := make([]*Table, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if i == n-1 || hi > rows {
+			hi = rows
+		}
+		if lo >= rows && n > 1 {
+			return nil, fmt.Errorf("colstore: %d rows cannot fill %d shards aligned to %d rows", rows, n, alignRows)
+		}
+		if lo > rows {
+			lo = rows
+		}
+		cols := make([]*Column, len(tbl.cols))
+		for j, c := range tbl.cols {
+			cols[j] = NewColumn(c.Name, c.Dict, c.codes[lo:hi])
+		}
+		measures := make([]*MeasureColumn, len(tbl.measures))
+		for j, m := range tbl.measures {
+			measures[j] = NewMeasureColumn(m.Name, m.values[lo:hi])
+		}
+		shard, err := NewTable(tbl.blockSize, hi-lo, cols, measures)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, shard)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestBatchWireRoundTripMerge is the wire contract property test: for
+// random batches a, b over the same candidate domain,
+// decode(encode(a)).Merge(decode(encode(b))) must be bit-identical to
+// a.Merge(b) on the in-memory originals (batchEqual compares histogram
+// cells via Float64bits).
+func TestBatchWireRoundTripMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		nCand := 1 + rng.Intn(8)
+		groups := 1 + rng.Intn(12)
+		a, b := randBatch(rng, nCand, groups), randBatch(rng, nCand, groups)
+
+		wantA, wantB := cloneBatch(a), cloneBatch(b)
+		if err := wantA.Merge(wantB); err != nil {
+			t.Fatalf("iter %d: direct merge: %v", iter, err)
+		}
+
+		da, err := DecodeBatch(EncodeBatch(a))
+		if err != nil {
+			t.Fatalf("iter %d: decode a: %v", iter, err)
+		}
+		if err := batchEqual(da, a); err != nil {
+			t.Fatalf("iter %d: round-trip a: %v", iter, err)
+		}
+		db, err := DecodeBatch(EncodeBatch(b))
+		if err != nil {
+			t.Fatalf("iter %d: decode b: %v", iter, err)
+		}
+		if err := da.Merge(db); err != nil {
+			t.Fatalf("iter %d: wire merge: %v", iter, err)
+		}
+		if err := batchEqual(da, wantA); err != nil {
+			t.Fatalf("iter %d: wire merge differs from direct merge: %v", iter, err)
+		}
+	}
+}
+
+func TestBatchWireNilAndEmpty(t *testing.T) {
+	got, err := DecodeBatch(EncodeBatch(nil))
+	if err != nil {
+		t.Fatalf("decode(encode(nil)): %v", err)
+	}
+	if got.Drawn != 0 || len(got.Counts) != 0 || got.Exhausted || got.Exact != nil {
+		t.Fatalf("nil batch round-trip = %+v, want zero batch", got)
+	}
+}
+
+func TestBatchWireRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	payload := EncodeBatch(randBatch(rng, 5, 6))
+
+	t.Run("magic", func(t *testing.T) {
+		bad := append([]byte(nil), payload...)
+		bad[0] = 'X'
+		if _, err := DecodeBatch(bad); !errors.Is(err, ErrWireMagic) {
+			t.Fatalf("bad magic: err = %v, want ErrWireMagic", err)
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		bad := append([]byte(nil), payload...)
+		binary.LittleEndian.PutUint16(bad[4:6], 99)
+		// keep the checksum honest so the version guard is what fires
+		binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+		if _, err := DecodeBatch(bad); !errors.Is(err, ErrWireVersion) {
+			t.Fatalf("cross-version: err = %v, want ErrWireVersion", err)
+		}
+	})
+	t.Run("flipped byte", func(t *testing.T) {
+		for off := 6; off < len(payload)-4; off += 7 {
+			bad := append([]byte(nil), payload...)
+			bad[off] ^= 0x40
+			if _, err := DecodeBatch(bad); !errors.Is(err, ErrWireCorrupt) {
+				t.Fatalf("flip at %d: err = %v, want ErrWireCorrupt", off, err)
+			}
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{5, 9, 14, len(payload) / 2, len(payload) - 1} {
+			if n >= len(payload) {
+				continue
+			}
+			if _, err := DecodeBatch(payload[:n]); err == nil {
+				t.Fatalf("truncated to %d bytes decoded without error", n)
+			} else if !errors.Is(err, ErrWireCorrupt) && !errors.Is(err, ErrWireMagic) {
+				t.Fatalf("truncated to %d: err = %v, want typed wire error", n, err)
+			}
+		}
+	})
+	t.Run("oversized counts", func(t *testing.T) {
+		// Claim 2^31 candidates in a tiny frame: must reject before allocating.
+		bad := make([]byte, 0, 32)
+		bad = append(bad, "FMBW"...)
+		bad = binary.LittleEndian.AppendUint16(bad, 1)
+		bad = binary.LittleEndian.AppendUint64(bad, 0)
+		bad = binary.LittleEndian.AppendUint32(bad, 1<<31-1)
+		bad = binary.LittleEndian.AppendUint32(bad, crc32.ChecksumIEEE(bad))
+		if _, err := DecodeBatch(bad); !errors.Is(err, ErrWireCorrupt) {
+			t.Fatalf("oversized count: err = %v, want ErrWireCorrupt", err)
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		bad := append([]byte(nil), payload[:len(payload)-4]...)
+		bad = append(bad, 0xAB, 0xCD)
+		bad = binary.LittleEndian.AppendUint32(bad, crc32.ChecksumIEEE(bad))
+		if _, err := DecodeBatch(bad); !errors.Is(err, ErrWireCorrupt) {
+			t.Fatalf("trailing bytes: err = %v, want ErrWireCorrupt", err)
+		}
+	})
+}

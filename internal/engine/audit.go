@@ -87,17 +87,36 @@ func AuditRun(ctx context.Context, p *Plan, target *histogram.Histogram, approx 
 	if approx.Partial {
 		return nil, fmt.Errorf("engine: refusing to audit a partial answer: no guarantee was claimed")
 	}
-	k := len(approx.TopK)
-
-	exOpts := Options{Params: opts.Params, Executor: Scan}
-	exOpts.Params.K = p.NumCandidates()
-	exOpts.Params.KRange.KMin, exOpts.Params.KRange.KMax = 0, 0
-	exOpts.Params.Sigma = 0 // the reference must rank every candidate
-	exOpts.Params.CollectQuality = false
+	exOpts := AuditReferenceOptions(opts, p.NumCandidates())
 	exact, err := p.RunWithTargetContext(ctx, target, exOpts)
 	if err != nil {
 		return nil, fmt.Errorf("engine: audit reference scan: %w", err)
 	}
+	return GradeAudit(approx, exact, opts.Params.Epsilon)
+}
+
+// AuditReferenceOptions derives the options for an audit's exact
+// reference pass from the approximate run's options: the Scan executor
+// ranking every candidate (no σ pruning, k = candidate count, no
+// KRange), with the approximate run's metric. Shared by AuditRun and the
+// cluster coordinator, whose reference pass is a scatter-gather scan.
+func AuditReferenceOptions(opts Options, numCandidates int) Options {
+	exOpts := Options{Params: opts.Params, Executor: Scan}
+	exOpts.Params.K = numCandidates
+	exOpts.Params.KRange.KMin, exOpts.Params.KRange.KMax = 0, 0
+	exOpts.Params.Sigma = 0 // the reference must rank every candidate
+	exOpts.Params.CollectQuality = false
+	return exOpts
+}
+
+// GradeAudit measures an approximate answer against an exact reference
+// ranking (every candidate ranked, no pruning): strict precision@k, rank
+// displacement, per-candidate distance error, and ε-tolerant guarantee
+// violations. It is the grading half of AuditRun, shared with the
+// cluster coordinator, which produces its exact reference by
+// scatter-gather instead of a local scan.
+func GradeAudit(approx, exact *Result, epsilon float64) (*Audit, error) {
+	k := len(approx.TopK)
 	if len(exact.TopK) < k {
 		return nil, fmt.Errorf("engine: audit reference ranked %d candidates, approximate answer has %d", len(exact.TopK), k)
 	}
@@ -110,7 +129,7 @@ func AuditRun(ctx context.Context, p *Plan, target *histogram.Histogram, approx 
 	}
 	a := &Audit{
 		K:                k,
-		Epsilon:          opts.Params.Epsilon,
+		Epsilon:          epsilon,
 		ExactKthDistance: exact.TopK[k-1].Distance,
 		ExactIO:          exact.IO,
 		ExactDuration:    exact.Duration,

@@ -99,6 +99,20 @@ func (g *runGuard) addRows(n int64) {
 	}
 }
 
+// BudgetStopError is the typed termination error for an exhausted row
+// budget: ErrBudgetExhausted wrapping core.ErrInterrupted. Exported so a
+// cluster coordinator reconstructing a shard's stop produces the exact
+// error a single-node run would have.
+func BudgetStopError(budget, read int64) error {
+	return fmt.Errorf("%w (budget %d, read %d) (%w)", ErrBudgetExhausted, budget, read, core.ErrInterrupted)
+}
+
+// CanceledStopError is the typed termination error for a context or
+// deadline stop: ErrCanceled wrapping the cause and core.ErrInterrupted.
+func CanceledStopError(cause error) error {
+	return fmt.Errorf("%w: %w (%w)", ErrCanceled, cause, core.ErrInterrupted)
+}
+
 // stop returns nil while the run may continue, or the typed termination
 // error. The error chain wraps core.ErrInterrupted so HistSim folds the
 // partial batch in and salvages a best-effort answer, plus
@@ -109,14 +123,14 @@ func (g *runGuard) stop() error {
 	}
 	if g.ctx != nil {
 		if err := g.ctx.Err(); err != nil {
-			return fmt.Errorf("%w: %w (%w)", ErrCanceled, err, core.ErrInterrupted)
+			return CanceledStopError(err)
 		}
 	}
 	if g.budget > 0 && g.rows.Load() >= g.budget {
-		return fmt.Errorf("%w (budget %d, read %d) (%w)", ErrBudgetExhausted, g.budget, g.rows.Load(), core.ErrInterrupted)
+		return BudgetStopError(g.budget, g.rows.Load())
 	}
 	if !g.deadline.IsZero() && !time.Now().Before(g.deadline) {
-		return fmt.Errorf("%w: %w (%w)", ErrCanceled, context.DeadlineExceeded, core.ErrInterrupted)
+		return CanceledStopError(context.DeadlineExceeded)
 	}
 	return nil
 }
@@ -126,3 +140,6 @@ func (g *runGuard) stop() error {
 func interrupted(err error) bool {
 	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExhausted)
 }
+
+// isBudget distinguishes a budget stop from a cancellation.
+func isBudget(err error) bool { return errors.Is(err, ErrBudgetExhausted) }

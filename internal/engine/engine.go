@@ -406,86 +406,10 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 	if !opts.DisableScanKernels {
 		bs.initFastPath()
 	}
-	// The sampling executors are traced from the same observer hook
-	// OnProgress uses (after stage 1, after every stage-2 round, after
-	// stage 3): each emission cuts a phase span carrying the IOStats
-	// delta since the previous one. Tracing therefore forces an observer
-	// on even when OnProgress is nil — the cost sits on the per-round
-	// path, never the per-row path, and results are unchanged (the same
-	// guarantee OnProgress pins in its perturbation test).
-	traced := opts.Trace != nil
-	var obs core.Observer
-	if opts.OnProgress != nil || traced {
-		phaseStart := began
-		var phaseIO IOStats
-		obs = func(s core.Snapshot) {
-			if traced {
-				now := time.Now()
-				cur := bs.Stats()
-				name := s.Phase
-				if s.Phase == "stage2" {
-					name = fmt.Sprintf("stage2.round%d", s.Round)
-				}
-				sp := runSpan.ChildAt(name, phaseStart)
-				sp.SetAttr("drawn", s.Drawn)
-				sp.SetAttr("active_candidates", s.ActiveCandidates)
-				if q := s.Quality; q != nil {
-					sp.SetAttr("gap", q.Gap)
-					sp.SetAttr("slack", q.Slack)
-					sp.SetAttr("churn", q.Churn)
-				}
-				sp.SetIO(traceIO(ioDelta(cur, phaseIO)))
-				sp.EndAt(now)
-				phaseStart, phaseIO = now, cur
-			}
-			if opts.OnProgress == nil {
-				return
-			}
-			pr := Progress{
-				Phase:            s.Phase,
-				Round:            s.Round,
-				ActiveCandidates: s.ActiveCandidates,
-				SamplesDrawn:     s.Drawn,
-				IO:               bs.Stats(),
-				Elapsed:          time.Since(began),
-			}
-			if len(s.TopK) > 0 {
-				pr.TopK = make([]ProgressMatch, len(s.TopK))
-				for i, rk := range s.TopK {
-					pr.TopK[i] = ProgressMatch{ID: rk.ID, Label: p.cand.labelOf(rk.ID), Distance: rk.Distance}
-				}
-			}
-			if q := s.Quality; q != nil {
-				pr.Quality = &ProgressQuality{
-					Gap:              q.Gap,
-					Slack:            q.Slack,
-					Churn:            q.Churn,
-					PrunedCandidates: q.PrunedCandidates,
-				}
-				// Quality entries are aligned with Snapshot.TopK by the
-				// core contract.
-				for i := range pr.TopK {
-					pr.TopK[i].CI = q.TopK[i].CI
-				}
-			}
-			opts.OnProgress(pr)
-		}
-		if traced {
-			// An interrupted run salvages without a final emission, and a
-			// few I/O counters (e.g. the wrap that proves exhaustion) land
-			// after the last one: fold the residual into a closing span so
-			// the tree's IO always sums to the run's total.
-			defer func() {
-				if resid := ioDelta(bs.Stats(), phaseIO); resid != (IOStats{}) {
-					sp := runSpan.ChildAt("tail", phaseStart)
-					sp.SetIO(traceIO(resid))
-					sp.End()
-				}
-			}()
-		}
-	}
+	obs, obsClose := RunObserver(began, opts, bs.Stats, p.cand.labelOf, runSpan)
+	defer obsClose()
 	coreRes, err := core.RunObserved(bs, target, opts.Params, obs)
-	if traced && len(bs.wBlocks) > 1 {
+	if opts.Trace != nil && len(bs.wBlocks) > 1 {
 		// Per-worker sampler spans, attribute-only: phase spans already
 		// carry the run's full IO as deltas, so worker spans must not
 		// repeat it (the span tree's IO sums to Result.IO).
@@ -499,33 +423,128 @@ func (p *Plan) runWithTarget(target *histogram.Histogram, opts Options, guard *r
 	if err != nil && (coreRes == nil || !interrupted(err)) {
 		return nil, err
 	}
+	res := SamplingResult(coreRes, bs.Stats(), time.Since(began), groupLabels(p.grp), p.cand.labelOf)
+	res.Sampler = &SamplerStats{
+		Workers:      len(bs.wBlocks),
+		Chunks:       bs.chunks,
+		WorkerBlocks: bs.wBlocks,
+		WorkerTuples: bs.wTuples,
+	}
+	return res, err
+}
+
+// RunObserver builds the OnProgress/trace observer for a sampling run:
+// each core emission (after stage 1, every stage-2 round, stage 3) cuts
+// a phase span carrying the IOStats delta since the previous one and/or
+// a Progress frame. Tracing forces an observer on even when OnProgress
+// is nil — the cost sits on the per-round path, never the per-row path,
+// and results are unchanged (the guarantee OnProgress pins in its
+// perturbation test). The returned closer must run after the core run:
+// an interrupted run salvages without a final emission, and a few I/O
+// counters land after the last one, so it folds the residual into a
+// closing "tail" span keeping the tree's IO summing to the run's total.
+// Shared by the single-node path and the cluster coordinator, which is
+// what keeps coordinated progress frames byte-identical (Elapsed aside)
+// to single-node ones.
+func RunObserver(began time.Time, opts Options, stats func() IOStats, labelOf func(int) string, runSpan *trace.Span) (core.Observer, func()) {
+	traced := opts.Trace != nil
+	if opts.OnProgress == nil && !traced {
+		return nil, func() {}
+	}
+	phaseStart := began
+	var phaseIO IOStats
+	obs := func(s core.Snapshot) {
+		if traced {
+			now := time.Now()
+			cur := stats()
+			name := s.Phase
+			if s.Phase == "stage2" {
+				name = fmt.Sprintf("stage2.round%d", s.Round)
+			}
+			sp := runSpan.ChildAt(name, phaseStart)
+			sp.SetAttr("drawn", s.Drawn)
+			sp.SetAttr("active_candidates", s.ActiveCandidates)
+			if q := s.Quality; q != nil {
+				sp.SetAttr("gap", q.Gap)
+				sp.SetAttr("slack", q.Slack)
+				sp.SetAttr("churn", q.Churn)
+			}
+			sp.SetIO(traceIO(ioDelta(cur, phaseIO)))
+			sp.EndAt(now)
+			phaseStart, phaseIO = now, cur
+		}
+		if opts.OnProgress == nil {
+			return
+		}
+		pr := Progress{
+			Phase:            s.Phase,
+			Round:            s.Round,
+			ActiveCandidates: s.ActiveCandidates,
+			SamplesDrawn:     s.Drawn,
+			IO:               stats(),
+			Elapsed:          time.Since(began),
+		}
+		if len(s.TopK) > 0 {
+			pr.TopK = make([]ProgressMatch, len(s.TopK))
+			for i, rk := range s.TopK {
+				pr.TopK[i] = ProgressMatch{ID: rk.ID, Label: labelOf(rk.ID), Distance: rk.Distance}
+			}
+		}
+		if q := s.Quality; q != nil {
+			pr.Quality = &ProgressQuality{
+				Gap:              q.Gap,
+				Slack:            q.Slack,
+				Churn:            q.Churn,
+				PrunedCandidates: q.PrunedCandidates,
+			}
+			// Quality entries are aligned with Snapshot.TopK by the
+			// core contract.
+			for i := range pr.TopK {
+				pr.TopK[i].CI = q.TopK[i].CI
+			}
+		}
+		opts.OnProgress(pr)
+	}
+	closer := func() {}
+	if traced {
+		closer = func() {
+			if resid := ioDelta(stats(), phaseIO); resid != (IOStats{}) {
+				sp := runSpan.ChildAt("tail", phaseStart)
+				sp.SetIO(traceIO(resid))
+				sp.End()
+			}
+		}
+	}
+	return obs, closer
+}
+
+// SamplingResult converts a core sampling result into an engine Result —
+// the assembly shared by runWithTarget and the cluster coordinator (the
+// coordinator folds shard partials into the same core run, so sharing
+// the assembly keeps coordinated answers byte-identical to single-node
+// ones). Sampler diagnostics are the caller's to attach.
+func SamplingResult(coreRes *core.Result, io IOStats, duration time.Duration, grpLabels []string, labelOf func(int) string) *Result {
 	res := &Result{
 		Exact:       coreRes.Exact,
 		Partial:     coreRes.Partial,
 		Stats:       coreRes.Stats,
-		IO:          bs.Stats(),
-		Duration:    time.Since(began),
-		GroupLabels: groupLabels(p.grp),
-		Sampler: &SamplerStats{
-			Workers:      len(bs.wBlocks),
-			Chunks:       bs.chunks,
-			WorkerBlocks: bs.wBlocks,
-			WorkerTuples: bs.wTuples,
-		},
-		Quality: qualityReport(coreRes.Quality, p.cand.labelOf),
+		IO:          io,
+		Duration:    duration,
+		GroupLabels: grpLabels,
+		Quality:     qualityReport(coreRes.Quality, labelOf),
 	}
 	for _, rk := range coreRes.TopK {
 		res.TopK = append(res.TopK, Match{
 			ID:        rk.ID,
-			Label:     p.cand.labelOf(rk.ID),
+			Label:     labelOf(rk.ID),
 			Distance:  rk.Distance,
 			Histogram: coreRes.Hists[rk.ID],
 		})
 	}
 	for _, id := range coreRes.Pruned {
-		res.Pruned = append(res.Pruned, p.cand.labelOf(id))
+		res.Pruned = append(res.Pruned, labelOf(id))
 	}
-	return res, err
+	return res
 }
 
 // ioDelta subtracts two monotone IOStats snapshots (cur - prev); phase

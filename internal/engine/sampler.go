@@ -125,6 +125,17 @@ func (s *IOStats) Add(other IOStats) {
 // count), so it is part of the deterministic contract, and the Sampler
 // interface explicitly permits the extra samples — they only sharpen the
 // cumulative estimates.
+//
+// Chunk boundaries sit at fixed positions in block-index space — the
+// planner commits after visiting any block b with (b+1) ≡ 0 (mod
+// chunkBlocks()), not after accumulating a buffer's worth of reads — so
+// the commit schedule is a pure function of the block indices walked,
+// independent of how many blocks in a chunk were skipped. That is what
+// lets a distributed coordinator split one global cursor walk into
+// per-shard segments (see shardrun.go): when shard boundaries fall on
+// chunk boundaries, a segment handoff commits exactly where the
+// single-node walk would have committed, and the chained run stays
+// byte-identical to the single-node run over the concatenated data.
 const (
 	// samplerChunkRows sizes the commit granularity: chunks target this
 	// many rows' worth of blocks.
@@ -193,6 +204,17 @@ type blockSampler struct {
 	wBlocks []int64
 	wTuples []int64
 	chunks  int64
+
+	// Segment mode (distributed scatter-gather, see shardrun.go): this
+	// sampler executes one shard-local slice of a global cursor walk.
+	// The planner then never wraps locally (the coordinator chains the
+	// walk onto the next shard), bounds each pass by the remaining
+	// global visit budget, and evaluates allConsumed against the global
+	// block count with the other shards' consumed blocks folded in.
+	seg       bool
+	segVisits int // remaining global visits for this pass
+	segGlobal int // global block count across all shards
+	segOthers int // blocks already consumed on other shards
 }
 
 func newBlockSampler(src colstore.Reader, cand candidateMapper, grp groupMapper,
@@ -251,7 +273,12 @@ func (bs *blockSampler) Stats() IOStats {
 	}
 }
 
-func (bs *blockSampler) allConsumed() bool { return bs.consCnt >= bs.src.NumBlocks() }
+func (bs *blockSampler) allConsumed() bool {
+	if bs.seg {
+		return bs.segOthers+bs.consCnt >= bs.segGlobal
+	}
+	return bs.consCnt >= bs.src.NumBlocks()
+}
 
 func (bs *blockSampler) newBatch() *core.Batch {
 	n := bs.cand.numCandidates()
@@ -274,7 +301,7 @@ func (bs *blockSampler) sealBatch(b *core.Batch) *core.Batch {
 // with the termination error (wrapping core.ErrInterrupted).
 func (bs *blockSampler) Stage1(m int) (*core.Batch, error) {
 	batch := bs.newBatch()
-	err := bs.runRound(batch, m)
+	_, err := bs.runRound(batch, m)
 	return bs.sealBatch(batch), err
 }
 
@@ -344,7 +371,7 @@ func (bs *blockSampler) SampleUntil(need map[int]int) (*core.Batch, error) {
 		return bs.sealBatch(batch), nil
 	}
 	bs.refreshActive()
-	if stopErr := bs.runRound(batch, -1); stopErr != nil {
+	if _, stopErr := bs.runRound(batch, -1); stopErr != nil {
 		// Interrupted mid-pass: the exactness inference below needs a
 		// completed pass, so skip it and hand the partial batch up.
 		return bs.sealBatch(batch), stopErr
@@ -372,11 +399,14 @@ func (bs *blockSampler) refreshActive() {
 	}
 }
 
-// advance returns the current cursor block and moves the cursor.
+// advance returns the current cursor block and moves the cursor. In
+// segment mode the cursor parks at NumBlocks instead of wrapping: the
+// coordinator owns the wrap (it chains the walk onto the next shard and
+// accounts the global Wraps counter itself).
 func (bs *blockSampler) advance() int {
 	b := bs.cursor
 	bs.cursor++
-	if bs.cursor >= bs.src.NumBlocks() {
+	if bs.cursor >= bs.src.NumBlocks() && !bs.seg {
 		bs.cursor = 0
 		atomic.AddInt64(&bs.stats.Wraps, 1)
 	}
@@ -403,13 +433,14 @@ func (bs *blockSampler) chunkBlocks() int {
 // stage1Need ≥ 0 selects stage-1 mode: sequential reads (no AnyActive)
 // until Drawn reaches stage1Need. stage1Need < 0 selects deficit mode:
 // the executor's block policy until every deficit is met (at chunk
-// granularity) or the pass completes. Returns the guard's termination
-// error, or nil for a completed pass; on error the pending chunk has
-// been flushed and the batch holds every committed sample.
-func (bs *blockSampler) runRound(batch *core.Batch, stage1Need int) error {
+// granularity) or the pass completes. Returns the number of cursor
+// visits consumed and the guard's termination error (nil for a
+// completed pass); on error the pending chunk has been flushed and the
+// batch holds every committed sample.
+func (bs *blockSampler) runRound(batch *core.Batch, stage1Need int) (int, error) {
 	total := bs.src.NumBlocks()
 	if total == 0 {
-		return nil
+		return 0, nil
 	}
 	stage1 := stage1Need >= 0
 	chunkCap := bs.chunkBlocks()
@@ -419,6 +450,10 @@ func (bs *blockSampler) runRound(batch *core.Batch, stage1Need int) error {
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	limit := total
+	if bs.seg && bs.segVisits < limit {
+		limit = bs.segVisits
 	}
 	ws := bs.newWorkers(workers)
 
@@ -469,17 +504,23 @@ func (bs *blockSampler) runRound(batch *core.Batch, stage1Need int) error {
 	}
 
 	// FastMatch lookahead window state: marking decisions are computed
-	// for lookahead-sized tilings of the round's cursor walk (Algorithm
-	// 3), each window marked in one bulk AnyActive pass from the active
-	// set committed when the planner crosses into it. Marks within a
-	// window are stale by up to the window length — safe because the
-	// deficit set only shrinks within a round, so a stale mark is a
-	// superset of what fresher state would mark.
+	// for lookahead-sized tiles at fixed block-index positions
+	// [kL, (k+1)L) (Algorithm 3), each tile marked in one bulk AnyActive
+	// pass from the active set committed when the planner first enters
+	// it (a round starting mid-tile marks only the tile's remainder).
+	// Marks within a tile are stale by up to the tile length — safe
+	// because the deficit set only shrinks within a round, so a stale
+	// mark is a superset of what fresher state would mark. Anchoring
+	// tiles to block indices (not to the visit sequence) keeps the
+	// marking schedule a pure function of the blocks walked, so shard
+	// segments whose boundaries fall on tile boundaries mark exactly as
+	// the single-node walk over the concatenated data would.
 	var mark []bool
-	winPos, winLeft := 0, 0
+	winStart, winEnd := 0, 0 // current tile's block range; empty until first FastMatch visit
 
+	visited := 0
 	var stopErr error
-	for visited := 0; visited < total; visited++ {
+	for ; visited < limit; visited++ {
 		if stage1 {
 			if batch.Drawn >= int64(stage1Need) {
 				break
@@ -490,16 +531,20 @@ func (bs *blockSampler) runRound(batch *core.Batch, stage1Need int) error {
 		if bs.allConsumed() {
 			break
 		}
+		if bs.seg && bs.cursor >= total {
+			break // segment end: the coordinator chains onto the next shard
+		}
 		if stopErr = bs.guard.stop(); stopErr != nil {
 			break
 		}
 		b := bs.advance()
+		read := false
 		switch {
 		case !stage1 && bs.mode == FastMatch:
-			if winLeft == 0 {
-				n := bs.lookahead
-				if n > total-visited {
-					n = total - visited
+			if b < winStart || b >= winEnd {
+				n := bs.lookahead - b%bs.lookahead
+				if n > total-b {
+					n = total - b
 				}
 				if cap(mark) < n {
 					mark = make([]bool, n)
@@ -509,66 +554,57 @@ func (bs *blockSampler) runRound(batch *core.Batch, stage1Need int) error {
 						mark[i] = false
 					}
 				}
-				if b+n <= total {
-					bs.cand.markAnyActive(bs.active, b, mark)
-				} else {
-					// Wrap-around: mark the tail and head segments
-					// separately.
-					tail := total - b
-					bs.cand.markAnyActive(bs.active, b, mark[:tail])
-					bs.cand.markAnyActive(bs.active, 0, mark[tail:])
-				}
-				winPos, winLeft = 0, n
+				bs.cand.markAnyActive(bs.active, b, mark)
+				winStart, winEnd = b, b+n
 			}
-			marked := mark[winPos]
-			winPos++
-			winLeft--
-			if bs.consumed.Get(b) {
-				continue
-			}
-			if !marked {
+			switch {
+			case bs.consumed.Get(b):
+			case !mark[b-winStart]:
 				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
-				continue
-			}
-			if bs.skipGrp != nil && bs.skipGrp.Get(b) {
+			case bs.skipGrp != nil && bs.skipGrp.Get(b):
 				bs.skipVirtual(b, batch)
-				continue
+			default:
+				read = true
 			}
 		case !stage1 && bs.mode == SyncMatch:
-			if bs.consumed.Get(b) {
-				continue
-			}
+			switch {
+			case bs.consumed.Get(b):
 			// Algorithm 2: probe each active candidate's bitmap for this
 			// single block — the cache-hostile pattern SyncMatch models —
 			// with the last-committed active set.
-			if !bs.cand.blockAnyActive(bs.active, b) {
+			case !bs.cand.blockAnyActive(bs.active, b):
 				atomic.AddInt64(&bs.stats.BlocksSkipped, 1)
-				continue
-			}
 			// Group-prunable blocks only: candidate-prunable ones were
 			// already rejected (without sample accounting) by AnyActive.
-			if bs.skipGrp != nil && bs.skipGrp.Get(b) {
+			case bs.skipGrp != nil && bs.skipGrp.Get(b):
 				bs.skipVirtual(b, batch)
-				continue
+			default:
+				read = true
 			}
 		default: // stage 1, ScanMatch, Scan: read everything not pruned
-			if bs.consumed.Get(b) {
-				continue
-			}
-			if bs.skipAll != nil && bs.skipAll.Get(b) {
+			switch {
+			case bs.consumed.Get(b):
+			case bs.skipAll != nil && bs.skipAll.Get(b):
 				bs.skipVirtual(b, batch)
-				continue
+			default:
+				read = true
 			}
 		}
-		bs.chargeBlock(b, batch)
-		readBuf = append(readBuf, b)
-		if len(readBuf) >= chunkCap {
+		if read {
+			bs.chargeBlock(b, batch)
+			readBuf = append(readBuf, b)
+		}
+		// Commit at fixed block-index boundaries (see the package
+		// comment): after block b with (b+1) ≡ 0 mod chunkCap, and at
+		// the end of the block space (the wrap point), so the commit
+		// schedule never depends on how many blocks were skipped.
+		if (b+1)%chunkCap == 0 || b+1 == total {
 			flush()
 		}
 	}
 	flush()
 	bs.foldWorkers(batch, ws)
-	return stopErr
+	return visited, stopErr
 }
 
 // commitChunk folds each worker's fresh per-chunk counts into the

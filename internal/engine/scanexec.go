@@ -8,6 +8,7 @@ import (
 
 	"fastmatch/internal/bitmap"
 	"fastmatch/internal/colstore"
+	"fastmatch/internal/core"
 	"fastmatch/internal/histogram"
 	"fastmatch/internal/obs/trace"
 )
@@ -307,17 +308,31 @@ func (p *Plan) runScan(target *histogram.Histogram, opts Options, workers int, g
 	}
 	hists, io, totalRows, stopErr := ex.run(nil, -1)
 	res := &Result{Exact: stopErr == nil, Partial: stopErr != nil, IO: io}
-	n := p.cand.numCandidates()
-	dist := make([]float64, n)
+	res.TopK, res.Pruned = RankExact(target, params, hists, totalRows, stopErr == nil, p.cand.labelOf)
+	res.Stats.ChosenK = len(res.TopK)
+	res.Stats.PrunedCandidates = len(res.Pruned)
+	return res, stopErr
+}
+
+// rankExact ranks fully-accumulated per-candidate histograms the way the
+// exact pass does: σ pruning only on a complete pass (selectivities from
+// a truncated pass are biased), never-reached candidates dropped from a
+// partial ranking, k from Params.K or the KRange rule. Shared between
+// runScan and the cluster coordinator's scatter-gather Scan path, which
+// ranks globally summed shard histograms — keeping it shared is what
+// makes the coordinated top-k byte-identical to the single-node one.
+func RankExact(target *histogram.Histogram, params core.Params, hists []*histogram.Histogram,
+	totalRows int64, complete bool, labelOf func(int) string) (topK []Match, pruned []string) {
+	dist := make([]float64, len(hists))
 	var keep []int
 	for i := range hists {
-		if stopErr == nil && params.Sigma > 0 {
+		if complete && params.Sigma > 0 {
 			if sel := hists[i].Total() / float64(totalRows); sel < params.Sigma {
-				res.Pruned = append(res.Pruned, p.cand.labelOf(i))
+				pruned = append(pruned, labelOf(i))
 				continue
 			}
 		}
-		if stopErr != nil && hists[i].Total() == 0 {
+		if !complete && hists[i].Total() == 0 {
 			// Never-reached candidate: its empty histogram normalizes
 			// to uniform, which would rank it as a perfect match for
 			// uniform-like targets. A truncated pass ranks only what it
@@ -335,14 +350,12 @@ func (p *Plan) runScan(target *histogram.Histogram, opts Options, workers int, g
 		}
 	}
 	for _, rk := range histogram.TopK(dist, keep, k) {
-		res.TopK = append(res.TopK, Match{
+		topK = append(topK, Match{
 			ID:        rk.ID,
-			Label:     p.cand.labelOf(rk.ID),
+			Label:     labelOf(rk.ID),
 			Distance:  rk.Distance,
 			Histogram: hists[rk.ID].Clone(),
 		})
 	}
-	res.Stats.ChosenK = len(res.TopK)
-	res.Stats.PrunedCandidates = len(res.Pruned)
-	return res, stopErr
+	return topK, pruned
 }

@@ -27,6 +27,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer pq.release()
+	if pq.entry.coord != nil {
+		pq.fail(w, http.StatusUnprocessableEntity,
+			"table %q is coordinated: explain it on a shard daemon (plans live where the data does)", pq.req.Table)
+		return
+	}
 	plan, planHit, err := s.planFor(pq)
 	if err != nil {
 		pq.fail(w, http.StatusUnprocessableEntity, "planning query: %v", err)

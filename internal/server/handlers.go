@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastmatch/internal/cluster"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/obs/trace"
 )
@@ -35,6 +36,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/internal/partial", s.handleInternalPartial)
 	s.mux.HandleFunc("POST /v1/tables/{name}/rows", s.handleAppend)
 	if s.cfg.EnableAdmin {
 		s.mux.HandleFunc("POST /v1/admin/load", s.handleAdminLoad)
@@ -170,6 +172,14 @@ type wireResponse struct {
 	// a sibling of Result — never inside it — so the result bytes stay
 	// byte-identical whether or not quality was requested.
 	Quality *engine.QualityReport `json:"quality,omitempty"`
+	// Shards reports per-shard status for coordinated tables (one entry
+	// per shard daemon, in global block order); MissingShards names
+	// shards that did not contribute, and Degraded marks an answer made
+	// Partial by shard loss rather than a timeout or budget. All three
+	// precede Result for the same `"result":`-slicing reason as Trace.
+	Shards        []cluster.ShardStatus `json:"shards,omitempty"`
+	MissingShards []string              `json:"missing_shards,omitempty"`
+	Degraded      bool                  `json:"degraded,omitempty"`
 	// Result is the deterministic result payload (ResultPayload).
 	Result json.RawMessage `json:"result"`
 }
@@ -203,6 +213,12 @@ type preparedQuery struct {
 	// still re-executing the plan.
 	audit bool
 	holds atomic.Int32
+	// Coordinated tables (entry.coord != nil): shards is the
+	// request-bound shard set (each memoizing its meta), and coordOK
+	// reports that every shard's meta resolved at prepare time — the
+	// precondition for using the result cache. eng and q stay zero.
+	shards  []cluster.Shard
+	coordOK bool
 }
 
 // retain adds a hold on the prepared query's pinned resources; done
@@ -246,6 +262,9 @@ func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQ
 		return nil
 	}
 	pq.entry = entry
+	if entry.coord != nil {
+		return s.prepareCoordinated(w, r, pq, entry)
+	}
 
 	// For live (ingest-backed) tables this binds the request to the
 	// table's current generation: the view stays pinned for the whole
@@ -369,6 +388,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer pq.done()
+	if pq.entry.coord != nil {
+		s.handleCoordinatedQuery(w, r, pq)
+		return
+	}
 
 	// Result cache: seeded runs are deterministic (the async FastMatch
 	// executor aside, where a cached answer is still one valid (ε, δ)

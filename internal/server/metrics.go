@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"fastmatch/internal/cluster"
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/ingest"
@@ -285,6 +286,9 @@ type TableMetrics struct {
 	// Ingest carries the live table's ingest counters (nil for static
 	// backends; filled in by the registry).
 	Ingest *ingest.Stats `json:"ingest,omitempty"`
+	// Shards carries per-shard client counters for coordinated tables
+	// (nil otherwise; filled in by the registry).
+	Shards []cluster.ShardClientStats `json:"shards,omitempty"`
 	// LatencyHist is the bucketed request-duration distribution backing
 	// /metrics; excluded from the /v1/stats JSON (the quantile summary
 	// above serves that endpoint). QualityRoundsHist and

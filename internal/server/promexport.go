@@ -70,6 +70,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		partials.Sample(float64(tables[n].PartialResults), "table", n)
 	}
 
+	// Coordinated tables: per-shard client health and traffic, labeled
+	// by coordinator table and shard name. Tables without shards emit no
+	// series. The latency pair follows the Prometheus summary convention
+	// (_sum seconds / _count observations) so avg round-trip is
+	// rate(sum)/rate(count).
+	shardHealthy := pw.Gauge("fastmatch_shard_healthy", "Whether the shard's most recent call succeeded (1) or failed (0).")
+	shardReqs := pw.Counter("fastmatch_shard_requests_total", "Shard HTTP attempts (retries included).")
+	shardErrs := pw.Counter("fastmatch_shard_errors_total", "Failed shard HTTP attempts.")
+	shardRetries := pw.Counter("fastmatch_shard_retries_total", "Shard call re-attempts after a failure.")
+	shardLatSum := pw.Counter("fastmatch_shard_latency_seconds_sum", "Total shard round-trip seconds.")
+	shardLatCount := pw.Counter("fastmatch_shard_latency_seconds_count", "Shard round-trips measured.")
+	for _, n := range names {
+		for _, sc := range tables[n].Shards {
+			healthy := 0.0
+			if sc.Healthy {
+				healthy = 1
+			}
+			shardHealthy.Sample(healthy, "table", n, "shard", sc.Name)
+			shardReqs.Sample(float64(sc.Requests), "table", n, "shard", sc.Name)
+			shardErrs.Sample(float64(sc.Errors), "table", n, "shard", sc.Name)
+			shardRetries.Sample(float64(sc.Retries), "table", n, "shard", sc.Name)
+			shardLatSum.Sample(float64(sc.LatencySumNS)/1e9, "table", n, "shard", sc.Name)
+			shardLatCount.Sample(float64(sc.LatencyCount), "table", n, "shard", sc.Name)
+		}
+	}
+
 	type tableCounter struct {
 		name, help string
 		get        func(TableMetrics) float64

@@ -158,8 +158,11 @@ func (s *Server) recordQuality(pq *preparedQuery, plan *engine.Plan, res *engine
 	}
 	// Partial answers claimed no guarantee: record their (truncated)
 	// quality report but never audit them — a phantom violation count
-	// would indict the guarantee for a promise it never made.
-	if !pq.audit || plan == nil || res.Partial || len(res.TopK) == 0 {
+	// would indict the guarantee for a promise it never made. A
+	// coordinated request has no local plan; its audit re-executes
+	// across the bound shard set instead.
+	coordinated := len(pq.shards) > 0
+	if !pq.audit || (plan == nil && !coordinated) || res.Partial || len(res.TopK) == 0 {
 		if entry.Quality != nil {
 			s.quality.record(entry)
 		}
@@ -170,7 +173,11 @@ func (s *Server) recordQuality(pq *preparedQuery, plan *engine.Plan, res *engine
 	go func() {
 		defer s.auditWG.Done()
 		defer pq.done()
-		entry.Audit, entry.AuditError = s.runAudit(pq, plan, res)
+		if plan != nil {
+			entry.Audit, entry.AuditError = s.runAudit(pq, plan, res)
+		} else {
+			entry.Audit, entry.AuditError = s.runCoordAudit(pq, res)
+		}
 		pq.entry.metrics.observeAudit(entry.Audit, entry.AuditError != "")
 		s.quality.record(entry)
 	}()

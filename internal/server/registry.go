@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastmatch/internal/cluster"
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/ingest"
@@ -73,6 +74,12 @@ type TableSpec struct {
 	// against an exact re-execution. Nil inherits the server default;
 	// a negative value disables auditing even when a default is set.
 	AuditFraction *float64 `json:"audit_fraction,omitempty"`
+	// Shards declares a coordinated table: no local data — queries
+	// scatter-gather across these shard daemons' HTTP APIs and fold
+	// their partials (see internal/cluster). Order is the global block
+	// order and must match the row-range partition (datagen -shards
+	// writes shards in that order). Exclusive with Path/Format/Backend.
+	Shards []cluster.ShardRef `json:"shards,omitempty"`
 }
 
 // TableInfo describes one registered table, as listed by /v1/tables.
@@ -132,6 +139,11 @@ type tableEntry struct {
 
 	eng *engine.Engine // static backends
 
+	// coord marks a coordinated table: queries scatter-gather across
+	// this client's shard daemons instead of a local engine (eng and
+	// live are both nil — guard every engineNow path).
+	coord *cluster.Client
+
 	live     *ingest.WritableTable // ingest backend
 	liveMu   sync.Mutex
 	liveGen  uint64
@@ -174,6 +186,10 @@ func (e *tableEntry) engineNow() (*engine.Engine, uint64, func(), error) {
 // close releases the entry's storage resources (unload path; the caller
 // guarantees no requests are in flight).
 func (e *tableEntry) close() error {
+	if e.coord != nil {
+		e.coord.Close()
+		return nil
+	}
 	if e.live != nil {
 		e.liveMu.Lock()
 		if e.liveView != nil {
@@ -261,6 +277,13 @@ func (r *registry) registerLive(name, source string, wt *ingest.WritableTable, q
 func (r *registry) load(spec TableSpec) error {
 	if spec.Name == "" {
 		return fmt.Errorf("server: table spec needs a name")
+	}
+	if len(spec.Shards) > 0 {
+		if spec.Path != "" || spec.Format != "" || spec.Backend != "" {
+			return fmt.Errorf("server: table %q: shards is exclusive with path/format/backend", spec.Name)
+		}
+		timeout := time.Duration(spec.QueryTimeoutMS) * time.Millisecond
+		return r.registerCoordinated(spec.Name, cluster.NewClient(spec.Shards), timeout, spec.AuditFraction)
 	}
 	if spec.Path == "" {
 		return fmt.Errorf("server: table %q needs a path", spec.Name)
@@ -405,8 +428,13 @@ func (r *registry) acquireAll() []*tableEntry {
 	return out
 }
 
-// info renders one entry's TableInfo.
+// info renders one entry's TableInfo. Coordinated entries hold no local
+// data: their info is the shard topology (the source string), with row
+// and column detail living on the shard daemons' own /v1/tables.
 func (e *tableEntry) info() (TableInfo, error) {
+	if e.coord != nil {
+		return TableInfo{Name: e.name, Source: e.source, LoadedAt: e.loadedAt}, nil
+	}
 	eng, _, done, err := e.engineNow()
 	if err != nil {
 		return TableInfo{}, err
@@ -460,7 +488,20 @@ func (r *registry) health() []TableHealth {
 	out := make([]TableHealth, 0, len(entries))
 	for _, e := range entries {
 		th := TableHealth{Name: e.name}
-		if eng, _, done, err := e.engineNow(); err != nil {
+		if e.coord != nil {
+			// Coordinated readiness is the shard client's view: every
+			// shard's most recent call succeeded. No probe traffic — a
+			// health check that fans out to K daemons would turn the
+			// liveness endpoint into a cluster load generator.
+			th.Ready = true
+			for _, sc := range e.coord.Stats() {
+				if !sc.Healthy {
+					th.Ready = false
+					th.Error = "shard " + sc.Name + ": " + sc.LastError
+					break
+				}
+			}
+		} else if eng, _, done, err := e.engineNow(); err != nil {
 			th.Error = err.Error()
 		} else {
 			th.Ready = true
@@ -480,7 +521,9 @@ func (r *registry) metricsSnapshot() map[string]TableMetrics {
 	out := make(map[string]TableMetrics, len(entries))
 	for _, e := range entries {
 		m := e.metrics.snapshot()
-		if eng, _, done, err := e.engineNow(); err == nil {
+		if e.coord != nil {
+			m.Shards = e.coord.Stats()
+		} else if eng, _, done, err := e.engineNow(); err == nil {
 			m.Storage = eng.Source().Storage()
 			done()
 		}

@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST /v1/query               answer a top-k histogram matching query
+//	POST /v1/internal/partial    shard-internal scatter-gather endpoint
 //	POST /v1/tables/{name}/rows  append rows to an ingest-backed table
 //	GET  /v1/tables              list registered tables and their schemas
 //	GET  /v1/healthz             liveness probe
@@ -28,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"fastmatch/internal/cluster"
 	"fastmatch/internal/colstore"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/ingest"
@@ -168,6 +170,18 @@ func (s *Server) RegisterTable(name string, src colstore.Reader) error {
 // (or /v1/admin/unload) closes it.
 func (s *Server) RegisterLiveTable(name string, wt *ingest.WritableTable) error {
 	return s.reg.registerLive(name, wt.Dir(), wt, 0, nil)
+}
+
+// RegisterCoordinatedTable registers a coordinated (scatter-gather)
+// table: the server holds no local data and answers queries by fanning
+// out across the named shard daemons and folding their partials with
+// the engine's merge algebra — byte-identical to a single node over the
+// concatenated data (see internal/cluster). Shard order defines the
+// global block order and must match the row-range partition (datagen
+// -shards writes shards in that order). Each shard daemon must serve
+// the same table name.
+func (s *Server) RegisterCoordinatedTable(name string, refs []cluster.ShardRef) error {
+	return s.reg.registerCoordinated(name, cluster.NewClient(refs), 0, nil)
 }
 
 // timeoutFor resolves a table's effective query timeout: the per-table

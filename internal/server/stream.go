@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"fastmatch/internal/cluster"
 	"fastmatch/internal/engine"
 	"fastmatch/internal/obs/trace"
 )
@@ -51,7 +52,13 @@ type StreamFrame struct {
 	DurationNS int64                 `json:"duration_ns,omitempty"`
 	Trace      *trace.Snapshot       `json:"trace,omitempty"`
 	Quality    *engine.QualityReport `json:"quality,omitempty"`
-	Result     json.RawMessage       `json:"result,omitempty"`
+	// Shards/MissingShards/Degraded carry per-shard status on a
+	// coordinated table's terminal frame, mirroring wireResponse; like
+	// Trace they precede Result so result-byte slicing keeps working.
+	Shards        []cluster.ShardStatus `json:"shards,omitempty"`
+	MissingShards []string              `json:"missing_shards,omitempty"`
+	Degraded      bool                  `json:"degraded,omitempty"`
+	Result        json.RawMessage       `json:"result,omitempty"`
 	// Error describes a failed run ("error" frames).
 	Error string `json:"error,omitempty"`
 }
@@ -84,6 +91,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer pq.done()
+	if pq.entry.coord != nil {
+		s.handleCoordinatedStream(w, r, pq)
+		return
+	}
 
 	ctx, cancel, timedOut := s.runContext(r, pq)
 	defer cancel()

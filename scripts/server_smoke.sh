@@ -12,20 +12,23 @@ PORT="${SMOKE_PORT:-18080}"
 BASE="http://127.0.0.1:${PORT}"
 TMP="$(mktemp -d)"
 PID=""
+SPIDS=""
 cleanup() {
-  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  for p in $PID $SPIDS; do kill "$p" 2>/dev/null || true; done
   rm -rf "$TMP"
 }
 trap cleanup EXIT
 
-wait_healthy() {
+wait_url() { # $1 = base URL, $2 = pid
   for i in $(seq 1 100); do
-    if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then return 0; fi
-    if ! kill -0 "$PID" 2>/dev/null; then echo "fastmatchd died during startup" >&2; exit 1; fi
+    if curl -fsS "$1/v1/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$2" 2>/dev/null; then echo "fastmatchd died during startup" >&2; exit 1; fi
     sleep 0.1
   done
-  curl -fsS "$BASE/v1/healthz" >/dev/null
+  curl -fsS "$1/v1/healthz" >/dev/null
 }
+
+wait_healthy() { wait_url "$BASE" "$PID"; }
 
 echo "== building"
 go build -o "$TMP/datagen" ./cmd/datagen
@@ -242,5 +245,58 @@ CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/admin/unload" -
 [ "$CODE" = "200" ] || { echo "unload live returned $CODE, want 200" >&2; exit 1; }
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/query" -d "$LIVEQ")"
 [ "$CODE" = "404" ] || { echo "query after unload returned $CODE, want 404" >&2; exit 1; }
+
+echo "== cluster: sharding the flights snapshot and starting a 3-shard scatter-gather topology"
+kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null || true
+"$TMP/datagen" -dataset flights -rows 100000 -out "" -snapshot "$TMP/flights.fms" -shards 3
+SP1=$((PORT+1)); SP2=$((PORT+2)); SP3=$((PORT+3)); SNP=$((PORT+4))
+"$TMP/fastmatchd" -listen "127.0.0.1:${SP1}" -table "flights=$TMP/flights-shard0.fms" & S1=$!
+"$TMP/fastmatchd" -listen "127.0.0.1:${SP2}" -table "flights=$TMP/flights-shard1.fms" & S2=$!
+"$TMP/fastmatchd" -listen "127.0.0.1:${SP3}" -table "flights=$TMP/flights-shard2.fms" & S3=$!
+"$TMP/fastmatchd" -listen "127.0.0.1:${SNP}" -table "flights=$TMP/flights.fms"        & SN=$!
+SPIDS="$S1 $S2 $S3 $SN"
+"$TMP/fastmatchd" -listen "127.0.0.1:${PORT}" -coordinator flights \
+  -shard "a=http://127.0.0.1:${SP1}" \
+  -shard "b=http://127.0.0.1:${SP2}" \
+  -shard "c=http://127.0.0.1:${SP3}" &
+PID=$!
+for p in "$S1:$SP1" "$S2:$SP2" "$S3:$SP3" "$SN:$SNP" "$PID:$PORT"; do
+  wait_url "http://127.0.0.1:${p#*:}" "${p%%:*}"
+done
+
+echo "== coordinated answer is byte-identical to a single node over the unsplit snapshot"
+CQUERY='{"table":"flights","query":{"z":"Origin","x":["DepartureHour"]},"target":{"uniform":true},"options":{"k":3,"executor":"scanmatch","epsilon":0.1,"seed":31}}'
+RC="$(curl -fsS -X POST "$BASE/v1/query" -d "$CQUERY")"
+RSN="$(curl -fsS -X POST "http://127.0.0.1:${SNP}/v1/query" -d "$CQUERY")"
+echo "$RC" | grep -q '"shards":\[' || { echo "coordinated reply carries no shard statuses: $RC" >&2; exit 1; }
+PC="$(printf '%s' "$RC" | sed 's/.*"result"://')"
+PSN="$(printf '%s' "$RSN" | sed 's/.*"result"://')"
+[ "$PC" = "$PSN" ] || { echo "coordinated result differs from single node" >&2; echo "coord:  $PC" >&2; echo "single: $PSN" >&2; exit 1; }
+
+echo "== exact scan agrees too, and the per-shard client counters tick"
+CSCAN="$(printf '%s' "$CQUERY" | sed 's/"executor":"scanmatch"/"executor":"scan"/')"
+RC2="$(curl -fsS -X POST "$BASE/v1/query" -d "$CSCAN")"
+RSN2="$(curl -fsS -X POST "http://127.0.0.1:${SNP}/v1/query" -d "$CSCAN")"
+PC2="$(printf '%s' "$RC2" | sed 's/.*"result"://')"
+PSN2="$(printf '%s' "$RSN2" | sed 's/.*"result"://')"
+[ "$PC2" = "$PSN2" ] || { echo "coordinated scan differs from single node" >&2; exit 1; }
+CSTATS="$(curl -fsS "$BASE/v1/stats")"
+echo "$CSTATS" | grep -q '"name":"b"' || { echo "coordinator stats missing shard b: $CSTATS" >&2; exit 1; }
+CMETRICS="$(curl -fsS "$BASE/metrics")"
+printf '%s\n' "$CMETRICS" | grep -Eq '^fastmatch_shard_requests_total\{table="flights",shard="a"\} [1-9]' || { echo "/metrics missing shard request counter" >&2; exit 1; }
+printf '%s\n' "$CMETRICS" | grep -Eq '^fastmatch_shard_healthy\{table="flights",shard="c"\} 1' || { echo "/metrics missing healthy shard gauge" >&2; exit 1; }
+
+echo "== kill -9 one shard: the coordinator degrades honestly instead of failing"
+kill -9 "$S2"; wait "$S2" 2>/dev/null || true
+DQUERY="$(printf '%s' "$CQUERY" | sed 's/"seed":31/"seed":37/')"
+RD="$(curl -fsS -X POST "$BASE/v1/query" -d "$DQUERY")"
+echo "$RD" | grep -q '"degraded":true'         || { echo "dead shard did not flag degraded: $RD" >&2; exit 1; }
+echo "$RD" | grep -q '"missing_shards":\["b"\]' || { echo "missing shard not named: $RD" >&2; exit 1; }
+echo "$RD" | grep -q '"partial":true'          || { echo "degraded answer not flagged partial: $RD" >&2; exit 1; }
+CSTATS="$(curl -fsS "$BASE/v1/stats")"
+echo "$CSTATS" | grep -Eq '"name":"b","url":[^}]*"errors":[1-9]' || { echo "stats missing shard-b failures: $CSTATS" >&2; exit 1; }
+CMETRICS="$(curl -fsS "$BASE/metrics")"
+printf '%s\n' "$CMETRICS" | grep -Eq '^fastmatch_shard_errors_total\{table="flights",shard="b"\} [1-9]' || { echo "/metrics missing shard error counter" >&2; exit 1; }
+printf '%s\n' "$CMETRICS" | grep -Eq '^fastmatch_shard_healthy\{table="flights",shard="b"\} 0' || { echo "/metrics still reports dead shard healthy" >&2; exit 1; }
 
 echo "server smoke OK"
